@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared configuration for the table/figure reproduction benches.
+ */
+
+#ifndef HETEROGEN_BENCH_COMMON_H
+#define HETEROGEN_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/heterogen.h"
+#include "subjects/subjects.h"
+
+namespace heterogen::bench {
+
+/**
+ * The evaluation configuration: a three-hour simulated repair budget
+ * (§6.1) and a fuzzing campaign that stops 30 simulated minutes after
+ * the last new path (§6.2).
+ */
+inline core::HeteroGenOptions
+standardOptions(const subjects::Subject &subject)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = subject.kernel;
+    opts.host_function = subject.host;
+    opts.initial_top = subject.initial_top;
+    opts.fuzz.rng_seed = subject.fuzz_seed;
+    opts.fuzz.max_executions = 4000;
+    opts.fuzz.mutations_per_input = 12;
+    opts.fuzz.plateau_minutes = 30.0;
+    opts.fuzz.budget_minutes = 90.0;
+    opts.fuzz.max_steps_per_run = 400000;
+    opts.search.budget_minutes = 180.0;
+    opts.search.max_iterations = 600;
+    opts.search.difftest_sample = 16;
+    opts.search.rng_seed = subject.fuzz_seed * 31 + 7;
+    return opts;
+}
+
+/** Render a check mark / cross for table cells. */
+inline const char *
+mark(bool ok)
+{
+    return ok ? "yes" : "no ";
+}
+
+} // namespace heterogen::bench
+
+#endif // HETEROGEN_BENCH_COMMON_H

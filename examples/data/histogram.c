@@ -1,0 +1,37 @@
+// Sample input for transpile_tool: a histogram kernel in the CIR C
+// subset whose scratch bins are malloc'd (an HLS incompatibility).
+//
+//   ./build/examples/transpile_tool examples/data/histogram.c kernel host
+struct Bin {
+    int count;
+    Bin *next;
+};
+int kernel(int samples[64], int n, int out[8]) {
+    if (n < 0) { n = 0; }
+    if (n > 64) { n = 64; }
+    Bin *bins = (Bin*)malloc(8 * sizeof(Bin));
+    for (int b = 0; b < 8; b++) {
+        bins[b].count = 0;
+        bins[b].next = (Bin*)0;
+    }
+    for (int i = 0; i < n; i++) {
+        int v = samples[i];
+        if (v < 0) { v = -v; }
+        int b = v % 8;
+        bins[b].count = bins[b].count + 1;
+    }
+    int busiest = 0;
+    for (int b = 0; b < 8; b++) {
+        out[b] = bins[b].count;
+        if (bins[b].count > bins[busiest].count) { busiest = b; }
+    }
+    free(bins);
+    return busiest;
+}
+int host() {
+    int samples[64];
+    int out[8];
+    for (int i = 0; i < 64; i++) { samples[i] = (i * 37 + 5) % 200; }
+    for (int b = 0; b < 8; b++) { out[b] = 0; }
+    return kernel(samples, 64, out);
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tokenizer for the CIR C subset.
+ *
+ * Handles C and C++ comments, integer/floating literals with suffixes,
+ * multi-character operators, and preprocessor lines: #include lines are
+ * skipped, "#pragma HLS ..." lines become single Pragma tokens whose text
+ * payload the parser decodes.
+ */
+
+#ifndef HETEROGEN_CIR_LEXER_H
+#define HETEROGEN_CIR_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace heterogen::cir {
+
+/** Token categories. */
+enum class Tok
+{
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    StringLit,
+    Punct,  ///< operators and punctuation, spelling in text
+    Pragma, ///< "#pragma HLS ..." with payload after "HLS" in text
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;       ///< identifier / punct spelling / pragma payload
+    long int_value = 0;     ///< valid when kind == IntLit
+    double float_value = 0; ///< valid when kind == FloatLit
+    bool long_double = false; ///< FloatLit had an 'L' suffix
+    SourceLoc loc;
+
+    bool is(Tok k) const { return kind == k; }
+    bool isPunct(const std::string &spelling) const;
+    bool isIdent(const std::string &name) const;
+};
+
+/**
+ * Tokenize a whole source buffer.
+ * @throws FatalError on malformed input (unterminated comment/string, ...).
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace heterogen::cir
+
+#endif // HETEROGEN_CIR_LEXER_H

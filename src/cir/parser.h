@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Recursive-descent parser producing CIR translation units.
+ */
+
+#ifndef HETEROGEN_CIR_PARSER_H
+#define HETEROGEN_CIR_PARSER_H
+
+#include <string>
+
+#include "cir/ast.h"
+
+namespace heterogen::cir {
+
+/**
+ * Parse a whole CIR source buffer.
+ * @throws FatalError with a location-bearing message on syntax errors.
+ */
+TuPtr parse(const std::string &source);
+
+/** Parse a single expression (used by tests and repair templates). */
+ExprPtr parseExpression(const std::string &source);
+
+} // namespace heterogen::cir
+
+#endif // HETEROGEN_CIR_PARSER_H

@@ -1,0 +1,381 @@
+#include "cir/printer.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace heterogen::cir {
+
+namespace {
+
+/** Statement/declaration printer with indentation tracking. */
+class Printer
+{
+  public:
+    std::string
+    printTu(const TranslationUnit &tu)
+    {
+        for (const auto &sd : tu.structs)
+            printStruct(*sd);
+        for (const auto &g : tu.globals)
+            printStmt(*g);
+        if (!tu.structs.empty() || !tu.globals.empty())
+            os_ << "\n";
+        for (const auto &fn : tu.functions)
+            printFunction(*fn);
+        return os_.str();
+    }
+
+    std::string
+    printOne(const Stmt &stmt)
+    {
+        printStmt(stmt);
+        return os_.str();
+    }
+
+    void
+    printStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            line("{");
+            ++indent_;
+            for (const auto &s :
+                 static_cast<const Block &>(stmt).stmts) {
+                printStmt(*s);
+            }
+            --indent_;
+            line("}");
+            break;
+          case StmtKind::Decl: {
+            const auto &d = static_cast<const DeclStmt &>(stmt);
+            std::string text;
+            if (d.is_static)
+                text += "static ";
+            text += declToString(d.type, d.name, d.vla_size.get());
+            if (d.init)
+                text += " = " + exprToString(*d.init);
+            line(text + ";");
+            break;
+          }
+          case StmtKind::ExprStmt:
+            line(exprToString(
+                     *static_cast<const ExprStmt &>(stmt).expr) + ";");
+            break;
+          case StmtKind::If: {
+            const auto &s = static_cast<const IfStmt &>(stmt);
+            line("if (" + exprToString(*s.cond) + ") {");
+            printBlockBody(*s.then_block);
+            if (s.else_block) {
+                line("} else {");
+                printBlockBody(*s.else_block);
+            }
+            line("}");
+            break;
+          }
+          case StmtKind::While: {
+            const auto &s = static_cast<const WhileStmt &>(stmt);
+            line("while (" + exprToString(*s.cond) + ") {");
+            printBlockBody(*s.body);
+            line("}");
+            break;
+          }
+          case StmtKind::For: {
+            const auto &s = static_cast<const ForStmt &>(stmt);
+            std::string header = "for (";
+            header += s.init ? inlineStmt(*s.init) : ";";
+            header += " ";
+            if (s.cond)
+                header += exprToString(*s.cond);
+            header += "; ";
+            if (s.step)
+                header += exprToString(*s.step);
+            header += ") {";
+            line(header);
+            printBlockBody(*s.body);
+            line("}");
+            break;
+          }
+          case StmtKind::Return: {
+            const auto &s = static_cast<const ReturnStmt &>(stmt);
+            if (s.value)
+                line("return " + exprToString(*s.value) + ";");
+            else
+                line("return;");
+            break;
+          }
+          case StmtKind::Break:
+            line("break;");
+            break;
+          case StmtKind::Continue:
+            line("continue;");
+            break;
+          case StmtKind::Pragma:
+            line(static_cast<const PragmaStmt &>(stmt).info.str());
+            break;
+        }
+    }
+
+    static std::string
+    exprToString(const Expr &expr)
+    {
+        switch (expr.kind()) {
+          case ExprKind::IntLit:
+            return std::to_string(static_cast<const IntLit &>(expr).value);
+          case ExprKind::FloatLit: {
+            const auto &e = static_cast<const FloatLit &>(expr);
+            std::ostringstream os;
+            os << e.value;
+            std::string text = os.str();
+            if (text.find('.') == std::string::npos &&
+                text.find('e') == std::string::npos) {
+                text += ".0";
+            }
+            if (e.long_double)
+                text += "L";
+            return text;
+          }
+          case ExprKind::StringLit:
+            return "\"" + static_cast<const StringLit &>(expr).value + "\"";
+          case ExprKind::Ident:
+            return static_cast<const Ident &>(expr).name;
+          case ExprKind::Unary: {
+            const auto &e = static_cast<const Unary &>(expr);
+            std::string inner = exprToString(*e.operand);
+            if (e.op == UnaryOp::PostInc)
+                return paren(inner) + "++";
+            if (e.op == UnaryOp::PostDec)
+                return paren(inner) + "--";
+            return unaryOpSpelling(e.op) + paren(inner);
+          }
+          case ExprKind::Binary: {
+            const auto &e = static_cast<const Binary &>(expr);
+            return paren(exprToString(*e.lhs)) + " " +
+                   binaryOpSpelling(e.op) + " " +
+                   paren(exprToString(*e.rhs));
+          }
+          case ExprKind::Assign: {
+            const auto &e = static_cast<const Assign &>(expr);
+            return exprToString(*e.lhs) + " " + assignOpSpelling(e.op) +
+                   " " + exprToString(*e.rhs);
+          }
+          case ExprKind::Call: {
+            const auto &e = static_cast<const Call &>(expr);
+            return e.callee + "(" + argsToString(e.args) + ")";
+          }
+          case ExprKind::MethodCall: {
+            const auto &e = static_cast<const MethodCall &>(expr);
+            return paren(exprToString(*e.base)) + "." + e.method + "(" +
+                   argsToString(e.args) + ")";
+          }
+          case ExprKind::Index: {
+            const auto &e = static_cast<const Index &>(expr);
+            return paren(exprToString(*e.base)) + "[" +
+                   exprToString(*e.index) + "]";
+          }
+          case ExprKind::Member: {
+            const auto &e = static_cast<const Member &>(expr);
+            return paren(exprToString(*e.base)) +
+                   (e.is_arrow ? "->" : ".") + e.field;
+          }
+          case ExprKind::Cast: {
+            const auto &e = static_cast<const Cast &>(expr);
+            return "(" + e.type->str() + ")" +
+                   paren(exprToString(*e.operand));
+          }
+          case ExprKind::Ternary: {
+            const auto &e = static_cast<const Ternary &>(expr);
+            return paren(exprToString(*e.cond)) + " ? " +
+                   paren(exprToString(*e.then_expr)) + " : " +
+                   paren(exprToString(*e.else_expr));
+          }
+          case ExprKind::SizeofType:
+            return "sizeof(" +
+                   static_cast<const SizeofType &>(expr).type->str() + ")";
+          case ExprKind::StructLit: {
+            const auto &e = static_cast<const StructLit &>(expr);
+            return e.struct_name + "{" + argsToString(e.args) + "}";
+          }
+        }
+        panic("exprToString: unhandled expression kind");
+    }
+
+  private:
+    /** Parenthesize compound sub-expressions only. */
+    static std::string
+    paren(const std::string &text)
+    {
+        bool atomic = true;
+        int depth = 0;
+        for (size_t i = 0; i < text.size(); ++i) {
+            char c = text[i];
+            if (c == '(' || c == '[')
+                ++depth;
+            else if (c == ')' || c == ']')
+                --depth;
+            else if (depth == 0 && (c == ' '))
+                atomic = false;
+        }
+        if (atomic)
+            return text;
+        return "(" + text + ")";
+    }
+
+    static std::string
+    argsToString(const std::vector<ExprPtr> &args)
+    {
+        std::string out;
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += exprToString(*args[i]);
+        }
+        return out;
+    }
+
+    /**
+     * Render "T name" with C array-suffix syntax; a VLA dimension prints
+     * its runtime size expression.
+     */
+    static std::string
+    declToString(const TypePtr &type, const std::string &name,
+                 const Expr *vla_size)
+    {
+        std::vector<std::string> dims;
+        TypePtr t = type;
+        while (t && t->isArray()) {
+            if (t->arraySize() == kUnknownArraySize) {
+                dims.push_back(vla_size ? Printer::exprToString(*vla_size)
+                                        : std::string());
+            } else {
+                dims.push_back(std::to_string(t->arraySize()));
+            }
+            t = t->element();
+        }
+        std::string text = baseTypeName(t) + " " + name;
+        for (const std::string &d : dims)
+            text += "[" + d + "]";
+        return text;
+    }
+
+    static std::string
+    baseTypeName(const TypePtr &t)
+    {
+        if (!t)
+            return "void";
+        if (t->isStruct())
+            return t->structName();
+        return t->str();
+    }
+
+    std::string
+    inlineStmt(const Stmt &stmt)
+    {
+        Printer sub;
+        sub.printStmt(stmt);
+        std::string text = sub.os_.str();
+        // Strip trailing newline and leading indent for for-headers.
+        while (!text.empty() && (text.back() == '\n' || text.back() == ' '))
+            text.pop_back();
+        size_t b = text.find_first_not_of(' ');
+        return b == std::string::npos ? text : text.substr(b);
+    }
+
+    void
+    printBlockBody(const Block &block)
+    {
+        ++indent_;
+        for (const auto &s : block.stmts)
+            printStmt(*s);
+        --indent_;
+    }
+
+    void
+    printFunction(const FunctionDecl &fn)
+    {
+        os_ << baseTypeName(fn.ret_type) << " " << fn.name << "("
+            << paramsToString(fn.params) << ")\n";
+        printStmt(*fn.body);
+        os_ << "\n";
+    }
+
+    static std::string
+    paramsToString(const std::vector<Param> &params)
+    {
+        std::string out;
+        for (size_t i = 0; i < params.size(); ++i) {
+            if (i)
+                out += ", ";
+            const Param &p = params[i];
+            std::string name = p.is_reference ? "&" + p.name : p.name;
+            out += declToString(p.type, name, nullptr);
+        }
+        return out;
+    }
+
+    void
+    printStruct(const StructDecl &sd)
+    {
+        line(std::string(sd.is_union ? "union " : "struct ") + sd.name +
+             " {");
+        ++indent_;
+        for (const auto &f : sd.fields) {
+            std::string name = f.is_reference ? "&" + f.name : f.name;
+            line(declToString(f.type, name, nullptr) + ";");
+        }
+        if (sd.ctor) {
+            std::string text = sd.name + "(" +
+                               paramsToString(sd.ctor->params) + ")";
+            if (!sd.ctor->inits.empty()) {
+                text += " : ";
+                for (size_t i = 0; i < sd.ctor->inits.size(); ++i) {
+                    if (i)
+                        text += ", ";
+                    text += sd.ctor->inits[i].first + "(" +
+                            sd.ctor->inits[i].second + ")";
+                }
+            }
+            line(text + " {}");
+        }
+        for (const auto &m : sd.methods) {
+            line(baseTypeName(m->ret_type) + " " + m->name + "(" +
+                 paramsToString(m->params) + ")");
+            printStmt(*m->body);
+        }
+        --indent_;
+        line("};");
+    }
+
+    void
+    line(const std::string &text)
+    {
+        for (int i = 0; i < indent_; ++i)
+            os_ << "    ";
+        os_ << text << "\n";
+    }
+
+    std::ostringstream os_;
+    int indent_ = 0;
+};
+
+} // namespace
+
+std::string
+print(const TranslationUnit &tu)
+{
+    return Printer().printTu(tu);
+}
+
+std::string
+print(const Stmt &stmt)
+{
+    return Printer().printOne(stmt);
+}
+
+std::string
+print(const Expr &expr)
+{
+    return Printer::exprToString(expr);
+}
+
+} // namespace heterogen::cir

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Pretty-printer: renders CIR trees back to compilable CIR source.
+ *
+ * This is the transpiler's output path; print(parse(print(tu))) is stable,
+ * and the repair engine diffs printed programs to report edit sizes.
+ */
+
+#ifndef HETEROGEN_CIR_PRINTER_H
+#define HETEROGEN_CIR_PRINTER_H
+
+#include <string>
+
+#include "cir/ast.h"
+
+namespace heterogen::cir {
+
+/** Render a whole translation unit. */
+std::string print(const TranslationUnit &tu);
+
+/** Render a single statement (tests / diagnostics). */
+std::string print(const Stmt &stmt);
+
+/** Render a single expression. */
+std::string print(const Expr &expr);
+
+} // namespace heterogen::cir
+
+#endif // HETEROGEN_CIR_PRINTER_H

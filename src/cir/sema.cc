@@ -1,0 +1,363 @@
+#include "cir/sema.h"
+
+#include <functional>
+
+#include "cir/walk.h"
+
+namespace heterogen::cir {
+
+const std::set<std::string> &
+intrinsicFunctions()
+{
+    static const std::set<std::string> names = {
+        "malloc", "free",   "sizeof", "sqrt", "sqrtf", "fabs", "abs",
+        "pow",    "powf",   "sin",    "cos",  "tan",   "exp",  "log",
+        "floor",  "ceil",   "min",    "max",  "printf",
+    };
+    return names;
+}
+
+bool
+isIntrinsic(const std::string &name)
+{
+    return intrinsicFunctions().count(name) > 0;
+}
+
+namespace {
+
+/** Scoped symbol table for variable-name resolution. */
+class Scopes
+{
+  public:
+    void push() { frames_.emplace_back(); }
+    void pop() { frames_.pop_back(); }
+
+    void
+    declare(const std::string &name)
+    {
+        frames_.back().insert(name);
+    }
+
+    bool
+    known(const std::string &name) const
+    {
+        for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+            if (it->count(name))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::set<std::string>> frames_;
+};
+
+class Analyzer
+{
+  public:
+    explicit Analyzer(TranslationUnit &tu) : tu_(tu) {}
+
+    SemaResult
+    run()
+    {
+        collectTopLevelNames();
+        scopes_.push();
+        for (const auto &g : global_names_)
+            scopes_.declare(g);
+        for (auto &g : tu_.globals)
+            analyzeStmt(*g);
+        scopes_.pop();
+        for (auto &sd : tu_.structs) {
+            sd->node_id = nextId();
+            for (auto &m : sd->methods)
+                analyzeFunction(*m, sd.get());
+        }
+        for (auto &fn : tu_.functions)
+            analyzeFunction(*fn, nullptr);
+        result_.num_nodes = next_id_;
+        result_.num_branches = next_branch_;
+        return std::move(result_);
+    }
+
+  private:
+    int nextId() { return ++next_id_; }
+    int nextBranch() { return next_branch_++; }
+
+    void
+    error(const std::string &msg, SourceLoc loc)
+    {
+        result_.errors.push_back({msg, loc});
+    }
+
+    void
+    collectTopLevelNames()
+    {
+        for (const auto &sd : tu_.structs)
+            struct_names_.insert(sd->name);
+        for (const auto &fn : tu_.functions) {
+            if (!function_names_.insert(fn->name).second)
+                error("duplicate function '" + fn->name + "'", fn->loc);
+        }
+        for (const auto &g : tu_.globals) {
+            if (g->kind() == StmtKind::Decl)
+                global_names_.insert(
+                    static_cast<const DeclStmt &>(*g).name);
+        }
+    }
+
+    void
+    analyzeFunction(FunctionDecl &fn, StructDecl *owner)
+    {
+        fn.node_id = nextId();
+        scopes_ = Scopes();
+        scopes_.push();
+        for (const auto &g : global_names_)
+            scopes_.declare(g);
+        if (owner) {
+            for (const auto &f : owner->fields)
+                scopes_.declare(f.name);
+        }
+        for (const auto &p : fn.params)
+            scopes_.declare(p.name);
+        if (fn.body)
+            analyzeBlock(*fn.body);
+        scopes_.pop();
+    }
+
+    void
+    analyzeBlock(Block &block)
+    {
+        block.node_id = nextId();
+        scopes_.push();
+        for (auto &s : block.stmts)
+            analyzeStmt(*s);
+        scopes_.pop();
+    }
+
+    void
+    analyzeStmt(Stmt &stmt)
+    {
+        stmt.node_id = nextId();
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            // Re-number children without double-numbering this node.
+            scopes_.push();
+            for (auto &s : static_cast<Block &>(stmt).stmts)
+                analyzeStmt(*s);
+            scopes_.pop();
+            break;
+          case StmtKind::Decl: {
+            auto &d = static_cast<DeclStmt &>(stmt);
+            if (d.init)
+                analyzeExpr(*d.init);
+            if (d.vla_size)
+                analyzeExpr(*d.vla_size);
+            if (d.type->isStruct() && !struct_names_.count(
+                    d.type->structName())) {
+                error("unknown struct '" + d.type->structName() + "'",
+                      d.loc);
+            }
+            scopes_.declare(d.name);
+            break;
+          }
+          case StmtKind::ExprStmt:
+            analyzeExpr(*static_cast<ExprStmt &>(stmt).expr);
+            break;
+          case StmtKind::If: {
+            auto &s = static_cast<IfStmt &>(stmt);
+            s.branch_id = nextBranch();
+            analyzeExpr(*s.cond);
+            analyzeBlock(*s.then_block);
+            if (s.else_block)
+                analyzeBlock(*s.else_block);
+            break;
+          }
+          case StmtKind::While: {
+            auto &s = static_cast<WhileStmt &>(stmt);
+            s.branch_id = nextBranch();
+            analyzeExpr(*s.cond);
+            analyzeBlock(*s.body);
+            break;
+          }
+          case StmtKind::For: {
+            auto &s = static_cast<ForStmt &>(stmt);
+            s.branch_id = nextBranch();
+            scopes_.push();
+            if (s.init)
+                analyzeStmt(*s.init);
+            if (s.cond)
+                analyzeExpr(*s.cond);
+            if (s.step)
+                analyzeExpr(*s.step);
+            analyzeBlock(*s.body);
+            scopes_.pop();
+            break;
+          }
+          case StmtKind::Return: {
+            auto &s = static_cast<ReturnStmt &>(stmt);
+            if (s.value)
+                analyzeExpr(*s.value);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    void
+    analyzeExpr(Expr &expr)
+    {
+        expr.node_id = nextId();
+        switch (expr.kind()) {
+          case ExprKind::Ident: {
+            auto &e = static_cast<Ident &>(expr);
+            if (!scopes_.known(e.name) && !function_names_.count(e.name))
+                error("use of undeclared identifier '" + e.name + "'",
+                      e.loc);
+            break;
+          }
+          case ExprKind::Unary:
+            analyzeExpr(*static_cast<Unary &>(expr).operand);
+            break;
+          case ExprKind::Binary: {
+            auto &e = static_cast<Binary &>(expr);
+            if (e.op == BinaryOp::LogAnd || e.op == BinaryOp::LogOr)
+                e.branch_id = nextBranch();
+            analyzeExpr(*e.lhs);
+            analyzeExpr(*e.rhs);
+            break;
+          }
+          case ExprKind::Assign: {
+            auto &e = static_cast<Assign &>(expr);
+            analyzeExpr(*e.lhs);
+            analyzeExpr(*e.rhs);
+            break;
+          }
+          case ExprKind::Call: {
+            auto &e = static_cast<Call &>(expr);
+            if (!function_names_.count(e.callee) && !isIntrinsic(e.callee))
+                error("call to undefined function '" + e.callee + "'",
+                      e.loc);
+            for (auto &a : e.args)
+                analyzeExpr(*a);
+            break;
+          }
+          case ExprKind::MethodCall: {
+            auto &e = static_cast<MethodCall &>(expr);
+            analyzeExpr(*e.base);
+            for (auto &a : e.args)
+                analyzeExpr(*a);
+            break;
+          }
+          case ExprKind::Index: {
+            auto &e = static_cast<Index &>(expr);
+            analyzeExpr(*e.base);
+            analyzeExpr(*e.index);
+            break;
+          }
+          case ExprKind::Member:
+            analyzeExpr(*static_cast<Member &>(expr).base);
+            break;
+          case ExprKind::Cast:
+            analyzeExpr(*static_cast<Cast &>(expr).operand);
+            break;
+          case ExprKind::Ternary: {
+            auto &e = static_cast<Ternary &>(expr);
+            e.branch_id = nextBranch();
+            analyzeExpr(*e.cond);
+            analyzeExpr(*e.then_expr);
+            analyzeExpr(*e.else_expr);
+            break;
+          }
+          case ExprKind::StructLit: {
+            auto &e = static_cast<StructLit &>(expr);
+            if (!struct_names_.count(e.struct_name))
+                error("unknown struct '" + e.struct_name + "'", e.loc);
+            for (auto &a : e.args)
+                analyzeExpr(*a);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    TranslationUnit &tu_;
+    SemaResult result_;
+    Scopes scopes_;
+    std::set<std::string> struct_names_;
+    std::set<std::string> function_names_;
+    std::set<std::string> global_names_;
+    int next_id_ = 0;
+    int next_branch_ = 0;
+};
+
+} // namespace
+
+SemaResult
+analyze(TranslationUnit &tu)
+{
+    return Analyzer(tu).run();
+}
+
+SemaResult
+analyzeOrDie(TranslationUnit &tu)
+{
+    SemaResult result = analyze(tu);
+    if (!result.ok()) {
+        fatal("sema: ", result.errors.front().message, " at ",
+              result.errors.front().loc.str());
+    }
+    return result;
+}
+
+std::map<std::string, std::set<std::string>>
+callGraph(const TranslationUnit &tu)
+{
+    std::map<std::string, std::set<std::string>> graph;
+    auto collect = [&tu](const Block &body, std::set<std::string> &out) {
+        forEachExpr(static_cast<const Stmt &>(body),
+                    [&out](const Expr &e) {
+                        if (e.kind() == ExprKind::Call) {
+                            const auto &call = static_cast<const Call &>(e);
+                            if (!isIntrinsic(call.callee))
+                                out.insert(call.callee);
+                        }
+                    });
+    };
+    for (const auto &fn : tu.functions) {
+        auto &edges = graph[fn->name];
+        if (fn->body)
+            collect(*fn->body, edges);
+    }
+    for (const auto &sd : tu.structs) {
+        for (const auto &m : sd->methods) {
+            auto &edges = graph[sd->name + "::" + m->name];
+            if (m->body)
+                collect(*m->body, edges);
+        }
+    }
+    return graph;
+}
+
+std::set<std::string>
+reachableFunctions(const TranslationUnit &tu, const std::string &root)
+{
+    auto graph = callGraph(tu);
+    std::set<std::string> seen;
+    std::vector<std::string> work{root};
+    while (!work.empty()) {
+        std::string fn = work.back();
+        work.pop_back();
+        if (!seen.insert(fn).second)
+            continue;
+        auto it = graph.find(fn);
+        if (it == graph.end())
+            continue;
+        for (const auto &callee : it->second)
+            work.push_back(callee);
+    }
+    return seen;
+}
+
+} // namespace heterogen::cir

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Semantic analysis over parsed CIR.
+ *
+ * Sema assigns unique node ids and branch ids (for coverage), resolves
+ * names (variables, functions, struct fields/methods, intrinsics), and
+ * reports violations. It is deliberately dynamic-typing-friendly: the
+ * interpreter carries types at runtime, so sema checks existence and
+ * arity rather than performing full C type checking.
+ */
+
+#ifndef HETEROGEN_CIR_SEMA_H
+#define HETEROGEN_CIR_SEMA_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cir/ast.h"
+
+namespace heterogen::cir {
+
+/** One sema violation with location context. */
+struct SemaError
+{
+    std::string message;
+    SourceLoc loc;
+};
+
+/** Result of analyzing a translation unit. */
+struct SemaResult
+{
+    /** Total nodes numbered. */
+    int num_nodes = 0;
+    /** Total two-way branch points; coverage denominators use 2x this. */
+    int num_branches = 0;
+    std::vector<SemaError> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/**
+ * Analyze and annotate a TU in place (ids, branch ids).
+ * Never throws; inspect result.errors.
+ */
+SemaResult analyze(TranslationUnit &tu);
+
+/** analyze() then fatal() with the first message if any error exists. */
+SemaResult analyzeOrDie(TranslationUnit &tu);
+
+/** Name of every built-in the interpreter provides. */
+const std::set<std::string> &intrinsicFunctions();
+
+/** True if name is an intrinsic. */
+bool isIntrinsic(const std::string &name);
+
+/**
+ * Static call graph: caller function name -> set of callee names
+ * (free functions only; intrinsics excluded).
+ */
+std::map<std::string, std::set<std::string>>
+callGraph(const TranslationUnit &tu);
+
+/**
+ * Functions reachable from root (inclusive) in the call graph.
+ */
+std::set<std::string> reachableFunctions(const TranslationUnit &tu,
+                                         const std::string &root);
+
+} // namespace heterogen::cir
+
+#endif // HETEROGEN_CIR_SEMA_H

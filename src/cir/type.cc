@@ -1,0 +1,282 @@
+#include "cir/type.h"
+
+#include "support/diagnostics.h"
+
+namespace heterogen::cir {
+
+bool
+Type::isInteger() const
+{
+    switch (kind_) {
+      case TypeKind::Bool:
+      case TypeKind::Char:
+      case TypeKind::Int:
+      case TypeKind::Long:
+      case TypeKind::FpgaInt:
+      case TypeKind::FpgaUint:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Type::isSignedInteger() const
+{
+    switch (kind_) {
+      case TypeKind::Char:
+      case TypeKind::Int:
+      case TypeKind::Long:
+      case TypeKind::FpgaInt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Type::isFloating() const
+{
+    switch (kind_) {
+      case TypeKind::Float:
+      case TypeKind::Double:
+      case TypeKind::LongDouble:
+      case TypeKind::FpgaFloat:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+Type::storageBits() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return 0;
+      case TypeKind::Bool: return 1;
+      case TypeKind::Char: return 8;
+      case TypeKind::Int: return 32;
+      case TypeKind::Long: return 64;
+      case TypeKind::Float: return 32;
+      case TypeKind::Double: return 64;
+      case TypeKind::LongDouble: return 80;
+      case TypeKind::FpgaInt:
+      case TypeKind::FpgaUint:
+        return width_;
+      case TypeKind::FpgaFloat:
+        return 1 + exp_ + mant_;
+      case TypeKind::Pointer:
+        return 64;
+      case TypeKind::Array:
+        if (array_size_ == kUnknownArraySize || !elem_)
+            return 0;
+        return static_cast<int>(array_size_) * elem_->storageBits();
+      case TypeKind::Struct:
+        // The resource model resolves struct layouts via the symbol
+        // table; standalone struct types report 0 here.
+        return 0;
+      case TypeKind::Stream:
+        return elem_ ? elem_->storageBits() : 0;
+    }
+    return 0;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return "void";
+      case TypeKind::Bool: return "bool";
+      case TypeKind::Char: return "char";
+      case TypeKind::Int: return "int";
+      case TypeKind::Long: return "long";
+      case TypeKind::Float: return "float";
+      case TypeKind::Double: return "double";
+      case TypeKind::LongDouble: return "long double";
+      case TypeKind::FpgaInt:
+        return "fpga_int<" + std::to_string(width_) + ">";
+      case TypeKind::FpgaUint:
+        return "fpga_uint<" + std::to_string(width_) + ">";
+      case TypeKind::FpgaFloat:
+        return "fpga_float<" + std::to_string(exp_) + "," +
+               std::to_string(mant_) + ">";
+      case TypeKind::Pointer:
+        return elem_->str() + "*";
+      case TypeKind::Array:
+        if (array_size_ == kUnknownArraySize)
+            return elem_->str() + "[]";
+        return elem_->str() + "[" + std::to_string(array_size_) + "]";
+      case TypeKind::Struct:
+        return "struct " + struct_name_;
+      case TypeKind::Stream:
+        return "hls::stream<" + elem_->str() + ">";
+    }
+    return "<bad-type>";
+}
+
+bool
+Type::equals(const Type &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case TypeKind::FpgaInt:
+      case TypeKind::FpgaUint:
+        return width_ == other.width_;
+      case TypeKind::FpgaFloat:
+        return exp_ == other.exp_ && mant_ == other.mant_;
+      case TypeKind::Pointer:
+      case TypeKind::Stream:
+        return sameType(elem_, other.elem_);
+      case TypeKind::Array:
+        return array_size_ == other.array_size_ &&
+               sameType(elem_, other.elem_);
+      case TypeKind::Struct:
+        return struct_name_ == other.struct_name_;
+      default:
+        return true;
+    }
+}
+
+bool
+sameType(const TypePtr &a, const TypePtr &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b)
+        return false;
+    return a->equals(*b);
+}
+
+// The factories construct through a private-access helper struct.
+struct TypeBuilder : Type
+{
+    static TypePtr
+    build(TypeKind kind, int width = 0, int exp = 0, int mant = 0,
+          TypePtr elem = nullptr, long array_size = 0,
+          std::string struct_name = {})
+    {
+        auto t = std::shared_ptr<TypeBuilder>(new TypeBuilder);
+        t->kind_ = kind;
+        t->width_ = width;
+        t->exp_ = exp;
+        t->mant_ = mant;
+        t->elem_ = std::move(elem);
+        t->array_size_ = array_size;
+        t->struct_name_ = std::move(struct_name);
+        return t;
+    }
+
+  private:
+    TypeBuilder() = default;
+};
+
+TypePtr
+Type::voidType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Void);
+    return t;
+}
+
+TypePtr
+Type::boolType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Bool);
+    return t;
+}
+
+TypePtr
+Type::charType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Char);
+    return t;
+}
+
+TypePtr
+Type::intType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Int);
+    return t;
+}
+
+TypePtr
+Type::longType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Long);
+    return t;
+}
+
+TypePtr
+Type::floatType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Float);
+    return t;
+}
+
+TypePtr
+Type::doubleType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::Double);
+    return t;
+}
+
+TypePtr
+Type::longDoubleType()
+{
+    static TypePtr t = TypeBuilder::build(TypeKind::LongDouble);
+    return t;
+}
+
+TypePtr
+Type::fpgaInt(int width)
+{
+    if (width <= 0 || width > 1024)
+        fatal("fpga_int width out of range: ", width);
+    return TypeBuilder::build(TypeKind::FpgaInt, width);
+}
+
+TypePtr
+Type::fpgaUint(int width)
+{
+    if (width <= 0 || width > 1024)
+        fatal("fpga_uint width out of range: ", width);
+    return TypeBuilder::build(TypeKind::FpgaUint, width);
+}
+
+TypePtr
+Type::fpgaFloat(int exponent_bits, int mantissa_bits)
+{
+    if (exponent_bits <= 0 || mantissa_bits <= 0)
+        fatal("fpga_float with non-positive field widths");
+    return TypeBuilder::build(TypeKind::FpgaFloat, 0, exponent_bits,
+                              mantissa_bits);
+}
+
+TypePtr
+Type::pointer(TypePtr element)
+{
+    return TypeBuilder::build(TypeKind::Pointer, 0, 0, 0,
+                              std::move(element));
+}
+
+TypePtr
+Type::array(TypePtr element, long size)
+{
+    return TypeBuilder::build(TypeKind::Array, 0, 0, 0, std::move(element),
+                              size);
+}
+
+TypePtr
+Type::structType(std::string name)
+{
+    return TypeBuilder::build(TypeKind::Struct, 0, 0, 0, nullptr, 0,
+                              std::move(name));
+}
+
+TypePtr
+Type::stream(TypePtr element)
+{
+    return TypeBuilder::build(TypeKind::Stream, 0, 0, 0, std::move(element));
+}
+
+} // namespace heterogen::cir

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Type system for the C intermediate representation (CIR).
+ *
+ * Covers the C subset the HeteroGen subjects need plus the HLS-side types
+ * the transpiler introduces: fpga_int<N>, fpga_uint<N>, fpga_float<E,M>
+ * and hls::stream<T>. Types are immutable and hash-consed via factory
+ * functions; share them freely with TypePtr.
+ */
+
+#ifndef HETEROGEN_CIR_TYPE_H
+#define HETEROGEN_CIR_TYPE_H
+
+#include <memory>
+#include <string>
+
+namespace heterogen::cir {
+
+/** Discriminator for Type. */
+enum class TypeKind
+{
+    Void,
+    Bool,
+    Char,
+    Int,        ///< 32-bit signed
+    Long,       ///< 64-bit signed
+    Float,      ///< 32-bit IEEE
+    Double,     ///< 64-bit IEEE
+    LongDouble, ///< extended precision; NOT synthesizable in HLS
+    FpgaInt,    ///< fpga_int<N>, signed, arbitrary bit width
+    FpgaUint,   ///< fpga_uint<N>, unsigned, arbitrary bit width
+    FpgaFloat,  ///< fpga_float<E,M>, custom exponent/mantissa float
+    Pointer,    ///< T*; NOT synthesizable except interface pointers
+    Array,      ///< T[N]; N may be unknown (dynamic) which is unsynthesizable
+    Struct,     ///< struct S
+    Stream,     ///< hls::stream<T>
+};
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/** Sentinel for an array whose element count is unknown at compile time. */
+constexpr long kUnknownArraySize = -1;
+
+/**
+ * An immutable CIR type. Construct through the factory functions below.
+ */
+class Type
+{
+  public:
+    TypeKind kind() const { return kind_; }
+
+    /** Bit width for FpgaInt/FpgaUint. */
+    int width() const { return width_; }
+    /** Exponent bits for FpgaFloat. */
+    int exponentBits() const { return exp_; }
+    /** Mantissa bits for FpgaFloat. */
+    int mantissaBits() const { return mant_; }
+    /** Element type for Pointer/Array/Stream. */
+    const TypePtr &element() const { return elem_; }
+    /** Element count for Array; kUnknownArraySize when dynamic. */
+    long arraySize() const { return array_size_; }
+    /** Tag name for Struct. */
+    const std::string &structName() const { return struct_name_; }
+
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool isInteger() const;
+    bool isSignedInteger() const;
+    bool isFloating() const;
+    bool isArithmetic() const { return isInteger() || isFloating(); }
+    bool isPointer() const { return kind_ == TypeKind::Pointer; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    bool isStruct() const { return kind_ == TypeKind::Struct; }
+    bool isStream() const { return kind_ == TypeKind::Stream; }
+
+    /**
+     * Total storage width in bits, used by the HLS resource model.
+     * Structs/arrays report element sums where known, 0 otherwise.
+     */
+    int storageBits() const;
+
+    /** Render as CIR source, e.g. "fpga_uint<7>" or "int*". */
+    std::string str() const;
+
+    bool equals(const Type &other) const;
+
+    // -- factories ---------------------------------------------------------
+    static TypePtr voidType();
+    static TypePtr boolType();
+    static TypePtr charType();
+    static TypePtr intType();
+    static TypePtr longType();
+    static TypePtr floatType();
+    static TypePtr doubleType();
+    static TypePtr longDoubleType();
+    static TypePtr fpgaInt(int width);
+    static TypePtr fpgaUint(int width);
+    static TypePtr fpgaFloat(int exponent_bits, int mantissa_bits);
+    static TypePtr pointer(TypePtr element);
+    static TypePtr array(TypePtr element, long size);
+    static TypePtr structType(std::string name);
+    static TypePtr stream(TypePtr element);
+
+  protected:
+    Type() = default;
+
+    TypeKind kind_ = TypeKind::Void;
+    int width_ = 0;
+    int exp_ = 0;
+    int mant_ = 0;
+    TypePtr elem_;
+    long array_size_ = 0;
+    std::string struct_name_;
+};
+
+/** Convenience equality over shared pointers (null-safe). */
+bool sameType(const TypePtr &a, const TypePtr &b);
+
+} // namespace heterogen::cir
+
+#endif // HETEROGEN_CIR_TYPE_H

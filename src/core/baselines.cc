@@ -1,0 +1,41 @@
+#include "core/baselines.h"
+
+namespace heterogen::core {
+
+HeteroGenOptions
+withoutChecker(HeteroGenOptions options)
+{
+    options.search.use_style_checker = false;
+    return options;
+}
+
+HeteroGenOptions
+withoutDependence(HeteroGenOptions options)
+{
+    options.search.use_dependence = false;
+    return options;
+}
+
+const std::set<std::string> &
+heteroRefactorEdits()
+{
+    // Dynamic data structures only: arena-backed allocation, pointer
+    // removal, recursion conversion and size exploration. No interface
+    // array sizing, no type/dataflow/loop/struct/top repairs.
+    static const std::set<std::string> edits = {
+        "insert($a1:arr,$d1:dyn)",
+        "pointer($v1:ptr)",
+        "stack_trans($d1:dyn)",
+        "resize($a1:arr)",
+    };
+    return edits;
+}
+
+HeteroGenOptions
+heteroRefactor(HeteroGenOptions options)
+{
+    options.search.allowed_edits = heteroRefactorEdits();
+    return options;
+}
+
+} // namespace heterogen::core

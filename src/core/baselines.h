@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The three comparison systems from the evaluation:
+ * WithoutChecker and WithoutDependence (Figure 9 ablations) and a
+ * HeteroRefactor re-implementation (Table 5, prior work [33]).
+ */
+
+#ifndef HETEROGEN_CORE_BASELINES_H
+#define HETEROGEN_CORE_BASELINES_H
+
+#include "core/heterogen.h"
+
+namespace heterogen::core {
+
+/** HeteroGen minus the LLVM-style coding-style checker: every repair
+ * attempt pays a full HLS toolchain invocation. */
+HeteroGenOptions withoutChecker(HeteroGenOptions options);
+
+/** HeteroGen minus dependence-guided exploration: candidate edits are
+ * chosen in random order with unguided parameters. */
+HeteroGenOptions withoutDependence(HeteroGenOptions options);
+
+/**
+ * HeteroRefactor [33]: refactoring support limited to dynamic data
+ * structures (arena insertion, pointer removal, recursion conversion,
+ * array sizing) plus bitwidth narrowing — no dataflow, loop, struct,
+ * type or top-function repairs, and no performance pragma exploration.
+ */
+HeteroGenOptions heteroRefactor(HeteroGenOptions options);
+
+/** The edit-name whitelist heteroRefactor() applies. */
+const std::set<std::string> &heteroRefactorEdits();
+
+} // namespace heterogen::core
+
+#endif // HETEROGEN_CORE_BASELINES_H

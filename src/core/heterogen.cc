@@ -1,0 +1,76 @@
+#include "core/heterogen.h"
+
+#include "cir/parser.h"
+#include "cir/printer.h"
+#include "repair/transforms.h"
+#include "support/strings.h"
+
+namespace heterogen::core {
+
+using cir::TranslationUnit;
+
+HeteroGen::HeteroGen(const std::string &source)
+{
+    tu_ = cir::parse(source);
+    sema_ = cir::analyzeOrDie(*tu_);
+}
+
+interp::ValueProfile
+profileUnderSuite(const TranslationUnit &tu, const std::string &kernel,
+                  const fuzz::TestSuite &suite)
+{
+    interp::ValueProfile profile;
+    for (const fuzz::TestCase &test : suite.cases()) {
+        interp::RunOptions opts;
+        opts.profile = &profile;
+        interp::runProgram(tu, kernel, test.args, opts);
+    }
+    return profile;
+}
+
+HeteroGenReport
+HeteroGen::run(const HeteroGenOptions &options) const
+{
+    if (options.kernel.empty())
+        fatal("HeteroGen: no kernel function specified");
+    if (!tu_->findFunction(options.kernel))
+        fatal("HeteroGen: kernel '", options.kernel,
+              "' not found in program");
+
+    HeteroGenReport report;
+    report.orig_loc = countLines(cir::print(*tu_));
+
+    // (1) Test input generation.
+    fuzz::FuzzOptions fuzz_opts = options.fuzz;
+    if (fuzz_opts.host_function.empty())
+        fuzz_opts.host_function = options.host_function;
+    report.testgen = fuzz::fuzzKernel(*tu_, options.kernel, sema_,
+                                      fuzz_opts);
+
+    // (2) Initial HLS version: profile value ranges, estimate types.
+    report.profile =
+        profileUnderSuite(*tu_, options.kernel, report.testgen.suite);
+    cir::TuPtr broken = tu_->clone();
+    hls::HlsConfig config = options.config;
+    config.top_function = options.initial_top.empty()
+                              ? options.kernel
+                              : options.initial_top;
+    if (options.narrow_bitwidths) {
+        repair::RepairContext ctx{*broken, config, "", &report.profile,
+                                  nullptr, false};
+        repair::xform::bitwidthNarrow(ctx);
+    }
+
+    // (3)-(5) Iterative repair with fitness evaluation.
+    report.search = repair::repairSearch(*tu_, options.kernel, *broken,
+                                         config, report.testgen.suite,
+                                         report.profile, options.search);
+
+    report.hls_source = cir::print(*report.search.program);
+    report.final_loc = countLines(report.hls_source);
+    report.total_minutes =
+        report.testgen.sim_minutes + report.search.sim_minutes;
+    return report;
+}
+
+} // namespace heterogen::core

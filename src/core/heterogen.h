@@ -1,0 +1,96 @@
+/**
+ * @file
+ * HeteroGen: the end-to-end C-to-HLS-C pipeline (Figure 1).
+ *
+ * Given an original C program and its kernel entry point, HeteroGen
+ *   (1) generates kernel test inputs by coverage-guided fuzzing,
+ *   (2) profiles value ranges and emits the initial HLS version with
+ *       estimated bit widths,
+ *   (3..5) iteratively localizes HLS errors, explores dependence-ordered
+ *       repairs with style-check early rejection, and evaluates fitness
+ *       by CPU-vs-FPGA differential testing,
+ * until the time budget expires or no further edit applies.
+ */
+
+#ifndef HETEROGEN_CORE_HETEROGEN_H
+#define HETEROGEN_CORE_HETEROGEN_H
+
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "repair/search.h"
+
+namespace heterogen::core {
+
+/** Pipeline options. */
+struct HeteroGenOptions
+{
+    /** Kernel function to transpile (required). */
+    std::string kernel;
+    /** Optional host entry used for kernel-seed capture. */
+    std::string host_function;
+    /** Initial top-function name; empty = use `kernel`. A wrong name
+     * reproduces the paper's Top Function configuration errors. */
+    std::string initial_top;
+    /** Profile-guided bitwidth narrowing for the initial HLS version. */
+    bool narrow_bitwidths = true;
+
+    fuzz::FuzzOptions fuzz;
+    repair::SearchOptions search;
+    hls::HlsConfig config;
+};
+
+/** Everything the pipeline produced. */
+struct HeteroGenReport
+{
+    /** Test-generation statistics (Table 4 inputs). */
+    fuzz::FuzzResult testgen;
+    /** Value profile of the original program under the suite. */
+    interp::ValueProfile profile;
+    /** Repair-search outcome including the final program. */
+    repair::SearchResult search;
+    /** Printed HLS-C output. */
+    std::string hls_source;
+    int orig_loc = 0;
+    int final_loc = 0;
+    /** Total simulated minutes: fuzzing + repair. */
+    double total_minutes = 0;
+
+    bool ok() const
+    {
+        return search.hls_compatible && search.behavior_preserved;
+    }
+};
+
+/**
+ * The transpiler facade. Construct from source text; run() is
+ * repeatable and side-effect free on the instance.
+ */
+class HeteroGen
+{
+  public:
+    /** @throws FatalError on parse/sema failure. */
+    explicit HeteroGen(const std::string &source);
+
+    /** Run the full pipeline. */
+    HeteroGenReport run(const HeteroGenOptions &options) const;
+
+    const cir::TranslationUnit &program() const { return *tu_; }
+    const cir::SemaResult &sema() const { return sema_; }
+
+  private:
+    cir::TuPtr tu_;
+    cir::SemaResult sema_;
+};
+
+/**
+ * Profile the program's value ranges by running every test in the suite
+ * (used for initial HLS version generation).
+ */
+interp::ValueProfile profileUnderSuite(const cir::TranslationUnit &tu,
+                                       const std::string &kernel,
+                                       const fuzz::TestSuite &suite);
+
+} // namespace heterogen::core
+
+#endif // HETEROGEN_CORE_HETEROGEN_H

@@ -1,0 +1,190 @@
+#include "fuzz/fuzzer.h"
+
+#include "cir/sema.h"
+#include "cir/walk.h"
+#include "support/diagnostics.h"
+
+namespace heterogen::fuzz {
+
+using interp::CoverageMap;
+using interp::KernelArg;
+using interp::RunOptions;
+using interp::RunResult;
+
+namespace {
+
+/** Simulated wall-clock cost of one kernel execution under AFL. */
+double
+executionMinutes(const RunResult &run)
+{
+    // Fork-server dispatch plus execution time proportional to work.
+    return 0.008 + double(run.steps) / 2.0e8;
+}
+
+/** Branch points inside functions reachable from the kernel. */
+int
+kernelBranchCount(const cir::TranslationUnit &tu,
+                  const std::string &kernel)
+{
+    auto reachable = cir::reachableFunctions(tu, kernel);
+    int count = 0;
+    auto count_body = [&count](const cir::Block &body) {
+        forEachStmt(static_cast<const cir::Stmt &>(body),
+                    [&count](const cir::Stmt &s) {
+                        switch (s.kind()) {
+                          case cir::StmtKind::If:
+                          case cir::StmtKind::While:
+                          case cir::StmtKind::For:
+                            ++count;
+                            break;
+                          default:
+                            break;
+                        }
+                    });
+        forEachExpr(static_cast<const cir::Stmt &>(body),
+                    [&count](const cir::Expr &e) {
+                        if (e.kind() == cir::ExprKind::Ternary) {
+                            ++count;
+                        } else if (e.kind() == cir::ExprKind::Binary) {
+                            const auto &b =
+                                static_cast<const cir::Binary &>(e);
+                            if (b.op == cir::BinaryOp::LogAnd ||
+                                b.op == cir::BinaryOp::LogOr) {
+                                ++count;
+                            }
+                        }
+                    });
+    };
+    for (const auto &fn : tu.functions) {
+        if (reachable.count(fn->name) && fn->body)
+            count_body(*fn->body);
+    }
+    // Struct methods are reachable via method calls the call graph does
+    // not track; include them conservatively.
+    for (const auto &sd : tu.structs) {
+        for (const auto &m : sd->methods) {
+            if (m->body)
+                count_body(*m->body);
+        }
+    }
+    return count;
+}
+
+std::vector<cir::TypePtr>
+kernelParamTypes(const cir::TranslationUnit &tu, const std::string &kernel)
+{
+    const cir::FunctionDecl *fn = tu.findFunction(kernel);
+    if (!fn)
+        fatal("fuzzer: no such kernel function: ", kernel);
+    std::vector<cir::TypePtr> types;
+    for (const auto &p : fn->params)
+        types.push_back(p.type);
+    return types;
+}
+
+} // namespace
+
+FuzzResult
+fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
+           const cir::SemaResult &sema, const FuzzOptions &options)
+{
+    FuzzResult result;
+    (void)sema;
+    result.coverage.setNumBranches(kernelBranchCount(tu, kernel));
+
+    Rng rng(options.rng_seed);
+    Mutator mutator(kernelParamTypes(tu, kernel), rng);
+
+    // --- getKernelSeed (Algorithm 1, line 4) -----------------------------
+    std::vector<KernelArg> seed;
+    if (!options.host_function.empty()) {
+        RunOptions host_opts;
+        host_opts.capture_function = kernel;
+        host_opts.captured_args = &seed;
+        host_opts.max_steps = options.max_steps_per_run;
+        interp::runProgram(tu, options.host_function, options.host_args,
+                           host_opts);
+    }
+    if (seed.empty())
+        seed = mutator.randomInput();
+
+    std::deque<std::vector<KernelArg>> queue;
+    queue.push_back(seed);
+
+    auto execute = [&](const std::vector<KernelArg> &args) {
+        CoverageMap local(result.coverage.numBranches());
+        RunOptions opts;
+        opts.coverage = &local;
+        opts.max_steps = options.max_steps_per_run;
+        RunResult run = interp::runProgram(tu, kernel, args, opts);
+        result.executions += 1;
+        result.sim_minutes += executionMinutes(run);
+        if (result.coverage.coversNew(local)) {
+            result.coverage.merge(local);
+            result.last_progress_minutes = result.sim_minutes;
+            if (result.suite.add(args))
+                queue.push_back(args);
+        } else if (static_cast<int>(result.suite.size()) <
+                   options.min_suite_size) {
+            result.suite.add(args);
+        }
+    };
+
+    // The seed itself is always executed and retained.
+    {
+        CoverageMap local(result.coverage.numBranches());
+        RunOptions opts;
+        opts.coverage = &local;
+        opts.max_steps = options.max_steps_per_run;
+        RunResult run = interp::runProgram(tu, kernel, seed, opts);
+        result.executions += 1;
+        result.sim_minutes += executionMinutes(run);
+        result.coverage.merge(local);
+        result.last_progress_minutes = result.sim_minutes;
+        result.suite.add(seed);
+    }
+
+    // --- fuzzing loop (Algorithm 1, lines 7-12) --------------------------
+    while (!queue.empty() &&
+           result.executions < options.max_executions &&
+           result.sim_minutes < options.budget_minutes) {
+        if (result.sim_minutes - result.last_progress_minutes >
+            options.plateau_minutes) {
+            break; // coverage plateaued; AFL timing indicator protocol
+        }
+        std::vector<KernelArg> input = queue.front();
+        queue.pop_front();
+        auto variants = mutator.mutate(input, options.mutations_per_input);
+        for (const auto &v : variants) {
+            if (result.executions >= options.max_executions ||
+                result.sim_minutes >= options.budget_minutes) {
+                break;
+            }
+            execute(v);
+        }
+        // Keep cycling the corpus.
+        queue.push_back(std::move(input));
+    }
+    return result;
+}
+
+CoverageMap
+measureCoverage(const cir::TranslationUnit &tu, const std::string &kernel,
+                const cir::SemaResult &sema, const TestSuite &suite,
+                uint64_t max_steps_per_run)
+{
+    (void)sema;
+    int branches = kernelBranchCount(tu, kernel);
+    CoverageMap total(branches);
+    for (const TestCase &t : suite.cases()) {
+        CoverageMap local(branches);
+        RunOptions opts;
+        opts.coverage = &local;
+        opts.max_steps = max_steps_per_run;
+        interp::runProgram(tu, kernel, t.args, opts);
+        total.merge(local);
+    }
+    return total;
+}
+
+} // namespace heterogen::fuzz

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Coverage-guided kernel-input generation (the paper's Algorithm 1).
+ *
+ * Seeds come from intermediate program state captured at the kernel entry
+ * during a host run (getKernelSeed); mutation is HLS-type-valid; feedback
+ * is branch coverage of the original C kernel. The loop stops when the
+ * simulated clock passes the budget or coverage plateaus for the
+ * configured window — mirroring the paper's "30 minutes since the last
+ * new path" protocol.
+ */
+
+#ifndef HETEROGEN_FUZZ_FUZZER_H
+#define HETEROGEN_FUZZ_FUZZER_H
+
+#include <deque>
+#include <string>
+
+#include "cir/ast.h"
+#include "cir/sema.h"
+#include "fuzz/mutator.h"
+#include "fuzz/testsuite.h"
+#include "interp/interp.h"
+
+namespace heterogen::fuzz {
+
+/** Fuzzing-campaign knobs. */
+struct FuzzOptions
+{
+    /** Optional host entry; when set, the seed is captured from its run
+     * at the kernel boundary. */
+    std::string host_function;
+    /** Host-run arguments (usually empty). */
+    std::vector<interp::KernelArg> host_args;
+    /** Deterministic seed. */
+    uint64_t rng_seed = 1;
+    /** Variants generated per queue entry. */
+    int mutations_per_input = 16;
+    /** Hard cap on kernel executions. */
+    int max_executions = 20000;
+    /** Stop after this much simulated fuzzing time (minutes). */
+    double budget_minutes = 240.0;
+    /** Stop when no new coverage for this many simulated minutes. */
+    double plateau_minutes = 30.0;
+    /**
+     * Keep at least this many inputs in the regression suite even when
+     * they add no new coverage: differential testing wants a diverse
+     * corpus, not just the coverage frontier.
+     */
+    int min_suite_size = 48;
+    /** Interpreter step cap per execution. */
+    uint64_t max_steps_per_run = 2'000'000;
+};
+
+/** Campaign outcome. */
+struct FuzzResult
+{
+    /** Coverage-increasing inputs retained as the regression suite. */
+    TestSuite suite;
+    interp::CoverageMap coverage;
+    int executions = 0;
+    /** Simulated wall-clock minutes the campaign took. */
+    double sim_minutes = 0;
+    /** Simulated minutes when the last new edge was found. */
+    double last_progress_minutes = 0;
+
+    double branchCoverage() const { return coverage.coverage(); }
+};
+
+/**
+ * Run one fuzzing campaign against `kernel` in `tu`.
+ * The TU must already be sema-analyzed (branch ids assigned).
+ */
+FuzzResult fuzzKernel(const cir::TranslationUnit &tu,
+                      const std::string &kernel,
+                      const cir::SemaResult &sema,
+                      const FuzzOptions &options = {});
+
+/**
+ * Measure the branch coverage an existing (handcrafted) suite achieves —
+ * the paper's Table 4 "Existing tests" columns.
+ */
+interp::CoverageMap measureCoverage(const cir::TranslationUnit &tu,
+                                    const std::string &kernel,
+                                    const cir::SemaResult &sema,
+                                    const TestSuite &suite,
+                                    uint64_t max_steps_per_run =
+                                        2'000'000);
+
+} // namespace heterogen::fuzz
+
+#endif // HETEROGEN_FUZZ_FUZZER_H

@@ -1,0 +1,262 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "interp/value.h"
+
+namespace heterogen::fuzz {
+
+using cir::TypeKind;
+using cir::TypePtr;
+using interp::KernelArg;
+
+Mutator::Mutator(std::vector<TypePtr> param_types, Rng &rng)
+    : param_types_(std::move(param_types)), rng_(rng)
+{
+}
+
+namespace {
+
+/** Integer value range of a scalar type. */
+std::pair<long, long>
+intRange(const TypePtr &type)
+{
+    if (!type)
+        return {-1L << 31, (1L << 31) - 1};
+    switch (type->kind()) {
+      case TypeKind::Bool: return {0, 1};
+      case TypeKind::Char: return {-128, 127};
+      case TypeKind::Int: return {-(1L << 31), (1L << 31) - 1};
+      case TypeKind::Long: return {-(1L << 46), (1L << 46) - 1};
+      case TypeKind::FpgaInt: {
+        int w = std::min(type->width(), 47);
+        return {-(1L << (w - 1)), (1L << (w - 1)) - 1};
+      }
+      case TypeKind::FpgaUint: {
+        int w = std::min(type->width(), 46);
+        return {0, (1L << w) - 1};
+      }
+      default:
+        return {-(1L << 31), (1L << 31) - 1};
+    }
+}
+
+/** Scalar element type of a parameter (arrays/streams decay). */
+TypePtr
+scalarOf(const TypePtr &type)
+{
+    TypePtr t = type;
+    while (t && (t->isArray() || t->isPointer() || t->isStream()))
+        t = t->element();
+    return t;
+}
+
+bool
+isFloatParam(const TypePtr &type)
+{
+    TypePtr s = scalarOf(type);
+    return s && s->isFloating();
+}
+
+} // namespace
+
+KernelArg
+Mutator::makeTypeValid(const KernelArg &arg, const TypePtr &type) const
+{
+    TypePtr scalar = scalarOf(type);
+    auto [lo, hi] = intRange(scalar);
+    auto clamp_int = [lo = lo, hi = hi](long v) {
+        // Wrap into range (HLS-type-valid) rather than reject.
+        long span = hi - lo + 1;
+        long off = (v - lo) % span;
+        if (off < 0)
+            off += span;
+        return lo + off;
+    };
+    auto fix_float = [](double v) {
+        if (!std::isfinite(v))
+            return 0.0;
+        return std::clamp(v, -1.0e18, 1.0e18);
+    };
+    KernelArg out = arg;
+    switch (out.kind) {
+      case KernelArg::Kind::Int:
+        out.i = clamp_int(out.i);
+        break;
+      case KernelArg::Kind::Float:
+        out.f = fix_float(out.f);
+        break;
+      case KernelArg::Kind::IntArray:
+        for (long &v : out.ints)
+            v = clamp_int(v);
+        break;
+      case KernelArg::Kind::FloatArray:
+        for (double &v : out.floats)
+            v = fix_float(v);
+        break;
+    }
+    return out;
+}
+
+long
+Mutator::randomIntFor(const TypePtr &type)
+{
+    auto [lo, hi] = intRange(scalarOf(type));
+    switch (rng_.below(4)) {
+      case 0: return lo;
+      case 1: return hi;
+      case 2: return rng_.range(-8, 8);
+      default: return rng_.range(lo, hi);
+    }
+}
+
+double
+Mutator::randomFloatFor(const TypePtr &type)
+{
+    (void)type;
+    switch (rng_.below(5)) {
+      case 0: return 0.0;
+      case 1: return 1.0;
+      case 2: return -1.0;
+      case 3: return (rng_.unit() - 0.5) * 16.0;
+      default: return (rng_.unit() - 0.5) * 2.0e6;
+    }
+}
+
+std::vector<KernelArg>
+Mutator::randomInput(int default_array_size)
+{
+    std::vector<KernelArg> out;
+    for (const TypePtr &t : param_types_) {
+        bool flt = isFloatParam(t);
+        bool aggregate = t->isArray() || t->isPointer() || t->isStream();
+        long n = default_array_size;
+        if (t->isArray() && t->arraySize() != cir::kUnknownArraySize)
+            n = t->arraySize();
+        if (aggregate) {
+            if (flt) {
+                std::vector<double> xs(n);
+                for (double &x : xs)
+                    x = randomFloatFor(t);
+                out.push_back(KernelArg::ofFloats(std::move(xs)));
+            } else {
+                std::vector<long> xs(n);
+                for (long &x : xs)
+                    x = randomIntFor(t);
+                out.push_back(KernelArg::ofInts(std::move(xs)));
+            }
+        } else if (flt) {
+            out.push_back(KernelArg::ofFloat(randomFloatFor(t)));
+        } else {
+            out.push_back(KernelArg::ofInt(randomIntFor(t)));
+        }
+        out.back() = makeTypeValid(out.back(), t);
+    }
+    return out;
+}
+
+void
+Mutator::mutateOne(KernelArg &arg, const TypePtr &type)
+{
+    switch (arg.kind) {
+      case KernelArg::Kind::Int: {
+        switch (rng_.below(4)) {
+          case 0: arg.i ^= 1L << rng_.below(16); break;       // bit flip
+          case 1: arg.i += rng_.range(-16, 16); break;        // arith
+          case 2: arg.i = -arg.i; break;                      // negate
+          default: arg.i = randomIntFor(type); break;         // havoc
+        }
+        break;
+      }
+      case KernelArg::Kind::Float: {
+        switch (rng_.below(4)) {
+          case 0: arg.f *= (rng_.unit() * 4.0 - 2.0); break;
+          case 1: arg.f += rng_.unit() * 16.0 - 8.0; break;
+          case 2: arg.f = -arg.f; break;
+          default: arg.f = randomFloatFor(type); break;
+        }
+        break;
+      }
+      case KernelArg::Kind::IntArray: {
+        if (arg.ints.empty())
+            break;
+        switch (rng_.below(4)) {
+          case 0: { // single element havoc
+            arg.ints[rng_.pickIndex(arg.ints)] = randomIntFor(type);
+            break;
+          }
+          case 1: { // neighbourhood arithmetic
+            size_t i = rng_.pickIndex(arg.ints);
+            arg.ints[i] += rng_.range(-8, 8);
+            break;
+          }
+          case 2: { // fill a random run with one value
+            size_t b = rng_.pickIndex(arg.ints);
+            size_t e = std::min(arg.ints.size(),
+                                b + 1 + rng_.below(4));
+            long v = randomIntFor(type);
+            for (size_t i = b; i < e; ++i)
+                arg.ints[i] = v;
+            break;
+          }
+          default: { // swap two positions (order-sensitive kernels)
+            size_t i = rng_.pickIndex(arg.ints);
+            size_t j = rng_.pickIndex(arg.ints);
+            std::swap(arg.ints[i], arg.ints[j]);
+            break;
+          }
+        }
+        break;
+      }
+      case KernelArg::Kind::FloatArray: {
+        if (arg.floats.empty())
+            break;
+        switch (rng_.below(3)) {
+          case 0:
+            arg.floats[rng_.pickIndex(arg.floats)] =
+                randomFloatFor(type);
+            break;
+          case 1: {
+            size_t i = rng_.pickIndex(arg.floats);
+            arg.floats[i] = arg.floats[i] * 2.0 + 1.0;
+            break;
+          }
+          default: {
+            size_t i = rng_.pickIndex(arg.floats);
+            size_t j = rng_.pickIndex(arg.floats);
+            std::swap(arg.floats[i], arg.floats[j]);
+            break;
+          }
+        }
+        break;
+      }
+    }
+}
+
+std::vector<std::vector<KernelArg>>
+Mutator::mutate(const std::vector<KernelArg> &seed, int count)
+{
+    std::vector<std::vector<KernelArg>> out;
+    out.reserve(count);
+    for (int k = 0; k < count; ++k) {
+        std::vector<KernelArg> variant = seed;
+        if (variant.empty()) {
+            out.push_back(randomInput());
+            continue;
+        }
+        // Mutate one to three positions.
+        int edits = 1 + int(rng_.below(3));
+        for (int e = 0; e < edits; ++e) {
+            size_t i = rng_.pickIndex(variant);
+            const TypePtr &t =
+                i < param_types_.size() ? param_types_[i] : nullptr;
+            mutateOne(variant[i], t);
+            variant[i] = makeTypeValid(variant[i], t);
+        }
+        out.push_back(std::move(variant));
+    }
+    return out;
+}
+
+} // namespace heterogen::fuzz

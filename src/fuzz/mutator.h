@@ -1,0 +1,57 @@
+/**
+ * @file
+ * HLS-type-aware input mutation.
+ *
+ * Unlike byte-level AFL mutation, every generated value is coerced into
+ * the kernel parameter's declared HLS type range, so inputs exercise
+ * kernel logic instead of dying at the type boundary (§4).
+ */
+
+#ifndef HETEROGEN_FUZZ_MUTATOR_H
+#define HETEROGEN_FUZZ_MUTATOR_H
+
+#include <vector>
+
+#include "cir/ast.h"
+#include "interp/kernel_arg.h"
+#include "support/rng.h"
+
+namespace heterogen::fuzz {
+
+/** Mutates kernel argument vectors respecting parameter types. */
+class Mutator
+{
+  public:
+    /**
+     * @param param_types declared types of the kernel parameters, in
+     *                    positional order
+     * @param rng         seeded generator (owned elsewhere)
+     */
+    Mutator(std::vector<cir::TypePtr> param_types, Rng &rng);
+
+    /**
+     * Produce `count` mutated variants of `seed`. Each variant differs
+     * from the seed in at least one position and is type-valid.
+     */
+    std::vector<std::vector<interp::KernelArg>>
+    mutate(const std::vector<interp::KernelArg> &seed, int count);
+
+    /** Synthesize a fresh random input vector (fallback seed). */
+    std::vector<interp::KernelArg> randomInput(int default_array_size = 16);
+
+    /** Clamp/wrap one argument into its parameter's valid value range. */
+    interp::KernelArg makeTypeValid(const interp::KernelArg &arg,
+                                    const cir::TypePtr &type) const;
+
+  private:
+    long randomIntFor(const cir::TypePtr &type);
+    double randomFloatFor(const cir::TypePtr &type);
+    void mutateOne(interp::KernelArg &arg, const cir::TypePtr &type);
+
+    std::vector<cir::TypePtr> param_types_;
+    Rng &rng_;
+};
+
+} // namespace heterogen::fuzz
+
+#endif // HETEROGEN_FUZZ_MUTATOR_H

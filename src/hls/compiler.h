@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The simulated HLS toolchain facade.
+ *
+ * Bundles synthesizability checking, scheduling/resource allocation and
+ * co-simulation behind one interface, and — critically for reproducing the
+ * paper — charges a realistic wall-clock cost per full toolchain
+ * invocation. HeteroGen's two search optimizations (style-check early
+ * rejection, dependence-ordered exploration) exist precisely because this
+ * cost dwarfs a C run; Figure 9 measures both against the accounting this
+ * class keeps.
+ */
+
+#ifndef HETEROGEN_HLS_COMPILER_H
+#define HETEROGEN_HLS_COMPILER_H
+
+#include <vector>
+
+#include "cir/ast.h"
+#include "hls/config.h"
+#include "hls/errors.h"
+#include "hls/fpga_model.h"
+#include "hls/resource.h"
+
+namespace heterogen::hls {
+
+/** Result of one full synthesis attempt. */
+struct CompileResult
+{
+    bool ok = false;
+    std::vector<HlsError> errors;
+    ResourceEstimate resources;
+    /** Simulated synthesis wall-clock cost in minutes. */
+    double synth_minutes = 0;
+    /** Printed design size the cost model used. */
+    int loc = 0;
+};
+
+/** Cumulative toolchain usage for ablation reporting. */
+struct ToolchainStats
+{
+    int compile_invocations = 0;
+    int cosim_invocations = 0;
+    double total_minutes = 0;
+};
+
+/**
+ * One toolchain instance bound to a configuration. Thread-compatible:
+ * use one instance per search.
+ */
+class HlsToolchain
+{
+  public:
+    explicit HlsToolchain(HlsConfig config);
+
+    const HlsConfig &config() const { return config_; }
+
+    /**
+     * Full synthesis: front-end checks, then scheduling/binding and
+     * resource allocation. Always charges the full invocation cost —
+     * invoke the style checker first if you want to avoid that.
+     */
+    CompileResult compile(const cir::TranslationUnit &tu);
+
+    /** Co-simulate the kernel (charges simulation cost). */
+    FpgaRunResult cosim(const cir::TranslationUnit &tu,
+                        const std::string &kernel,
+                        const std::vector<interp::KernelArg> &args,
+                        interp::RunOptions options = {});
+
+    const ToolchainStats &stats() const { return stats_; }
+    void resetStats() { stats_ = ToolchainStats{}; }
+
+    /** Cost model for one full synthesis of a design of `loc` lines. */
+    static double synthMinutes(int loc, int num_pragmas, int num_structs);
+
+  private:
+    HlsConfig config_;
+    ToolchainStats stats_;
+};
+
+} // namespace heterogen::hls
+
+#endif // HETEROGEN_HLS_COMPILER_H

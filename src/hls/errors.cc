@@ -1,0 +1,229 @@
+#include "hls/errors.h"
+
+namespace heterogen::hls {
+
+std::string
+categoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::DynamicDataStructures:
+        return "Dynamic Data Structures";
+      case ErrorCategory::UnsupportedDataTypes:
+        return "Unsupported Data Types";
+      case ErrorCategory::DataflowOptimization:
+        return "Dataflow Optimization";
+      case ErrorCategory::LoopParallelization:
+        return "Loop Parallelization";
+      case ErrorCategory::StructAndUnion:
+        return "Struct and Union";
+      case ErrorCategory::TopFunction:
+        return "Top Function";
+    }
+    return "?";
+}
+
+const std::vector<ErrorCategory> &
+allCategories()
+{
+    static const std::vector<ErrorCategory> all = {
+        ErrorCategory::DynamicDataStructures,
+        ErrorCategory::UnsupportedDataTypes,
+        ErrorCategory::DataflowOptimization,
+        ErrorCategory::LoopParallelization,
+        ErrorCategory::StructAndUnion,
+        ErrorCategory::TopFunction,
+    };
+    return all;
+}
+
+std::string
+HlsError::str() const
+{
+    return "ERROR: [" + code + "] " + message;
+}
+
+namespace diag {
+
+namespace {
+
+HlsError
+make(std::string code, std::string message, ErrorCategory category,
+     std::string symbol, SourceLoc loc)
+{
+    HlsError e;
+    e.code = std::move(code);
+    e.message = std::move(message);
+    e.category = category;
+    e.symbol = std::move(symbol);
+    e.loc = loc;
+    return e;
+}
+
+} // namespace
+
+HlsError
+recursiveFunction(const std::string &fn, SourceLoc loc)
+{
+    return make("XFORM 202-876",
+                "Synthesizability check failed: recursive functions are "
+                "not supported ('" + fn + "').",
+                ErrorCategory::DynamicDataStructures, fn, loc);
+}
+
+HlsError
+dynamicAllocation(const std::string &var, SourceLoc loc)
+{
+    return make("SYNCHK 200-31",
+                "dynamic memory allocation/deallocation is not supported"
+                " (variable '" + var + "').",
+                ErrorCategory::DynamicDataStructures, var, loc);
+}
+
+HlsError
+unknownArraySize(const std::string &var, SourceLoc loc)
+{
+    return make("SYNCHK 200-61",
+                "unsupported memory access on variable '" + var +
+                    "' which is (or contains) an array with unknown size "
+                    "at compile time.",
+                ErrorCategory::DynamicDataStructures, var, loc);
+}
+
+HlsError
+longDoubleType(const std::string &var, SourceLoc loc)
+{
+    return make("SYNCHK 200-11",
+                "type 'long double' on variable '" + var +
+                    "' is not synthesizable.",
+                ErrorCategory::UnsupportedDataTypes, var, loc);
+}
+
+HlsError
+ambiguousOverload(const std::string &callee, SourceLoc loc)
+{
+    return make("SYNCHK 200-12",
+                "Call of overloaded '" + callee + "()' is ambiguous.",
+                ErrorCategory::UnsupportedDataTypes, callee, loc);
+}
+
+HlsError
+pointerUsage(const std::string &var, SourceLoc loc)
+{
+    return make("SYNCHK 200-41",
+                "unsupported pointer usage on variable '" + var +
+                    "'; pointers are not synthesizable.",
+                ErrorCategory::UnsupportedDataTypes, var, loc);
+}
+
+HlsError
+implicitFpgaConversion(const std::string &context, SourceLoc loc)
+{
+    return make("SYNCHK 200-13",
+                "implicit type conversion in '" + context +
+                    "' is not supported for custom FPGA types; explicit "
+                    "type casting required.",
+                ErrorCategory::UnsupportedDataTypes, context, loc);
+}
+
+HlsError
+dataflowArgument(const std::string &var, SourceLoc loc)
+{
+    return make("XFORM 203-711",
+                "Argument '" + var + "' failed dataflow checking.",
+                ErrorCategory::DataflowOptimization, var, loc);
+}
+
+HlsError
+arrayPartitionMismatch(const std::string &var, long size, long factor,
+                       SourceLoc loc)
+{
+    return make("XFORM 203-711",
+                "Array '" + var + "' failed dataflow checking: size " +
+                    std::to_string(size) + " is not a multiple of "
+                    "partition factor " + std::to_string(factor) + ".",
+                ErrorCategory::DataflowOptimization, var, loc);
+}
+
+HlsError
+preSynthesisFailed(const std::string &detail, SourceLoc loc)
+{
+    return make("HLS 200-70",
+                "Pre-synthesis failed: unroll " + detail + ".",
+                ErrorCategory::LoopParallelization, "", loc);
+}
+
+HlsError
+variableTripCount(const std::string &detail, SourceLoc loc)
+{
+    return make("XFORM 203-113",
+                "cannot unroll loop: " + detail +
+                    " (variable trip count).",
+                ErrorCategory::LoopParallelization, "", loc);
+}
+
+HlsError
+unsynthesizableStruct(const std::string &name, SourceLoc loc)
+{
+    return make("SYNCHK 200-71",
+                "Argument 'this' has an unsynthesizable struct type '" +
+                    name + "' (no explicit constructor).",
+                ErrorCategory::StructAndUnion, name, loc);
+}
+
+HlsError
+nonStaticStream(const std::string &var, SourceLoc loc)
+{
+    return make("XFORM 203-712",
+                "stream '" + var +
+                    "' connecting struct instances in a DATAFLOW region "
+                    "must be static.",
+                ErrorCategory::StructAndUnion, var, loc);
+}
+
+HlsError
+unionNotSupported(const std::string &name, SourceLoc loc)
+{
+    return make("SYNCHK 200-72",
+                "union type '" + name + "' is not synthesizable.",
+                ErrorCategory::StructAndUnion, name, loc);
+}
+
+HlsError
+missingTopFunction(const std::string &name)
+{
+    return make("HLS 200-10",
+                "Cannot find the top function '" + name +
+                    "' in the design.",
+                ErrorCategory::TopFunction, name, SourceLoc{});
+}
+
+HlsError
+invalidClock(double mhz)
+{
+    return make("HLS 200-24",
+                "top function configuration: invalid clock frequency " +
+                    std::to_string(mhz) + " MHz (supported: 50-500 MHz).",
+                ErrorCategory::TopFunction, "", SourceLoc{});
+}
+
+HlsError
+unknownDevice(const std::string &device)
+{
+    return make("HLS 200-25",
+                "top function configuration: unknown device '" + device +
+                    "'.",
+                ErrorCategory::TopFunction, device, SourceLoc{});
+}
+
+HlsError
+badInterfacePragma(const std::string &detail, SourceLoc loc)
+{
+    return make("HLS 200-26",
+                "top function interface configuration error: " + detail +
+                    ".",
+                ErrorCategory::TopFunction, "", loc);
+}
+
+} // namespace diag
+
+} // namespace heterogen::hls

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * HLS diagnostic catalogue.
+ *
+ * The simulated toolchain emits Vivado-HLS-style diagnostics; HeteroGen's
+ * repair localizer classifies them back into the paper's six compatibility
+ * categories by keyword, exactly as §5.2 describes.
+ */
+
+#ifndef HETEROGEN_HLS_ERRORS_H
+#define HETEROGEN_HLS_ERRORS_H
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace heterogen::hls {
+
+/** The paper's six HLS-compatibility error categories (Figure 3). */
+enum class ErrorCategory
+{
+    DynamicDataStructures,
+    UnsupportedDataTypes,
+    DataflowOptimization,
+    LoopParallelization,
+    StructAndUnion,
+    TopFunction,
+};
+
+/** Human-readable category label (matches the paper's terms). */
+std::string categoryName(ErrorCategory category);
+
+/** Number of categories (pie-chart denominators, iteration). */
+constexpr int kNumErrorCategories = 6;
+
+/** All categories in a fixed order. */
+const std::vector<ErrorCategory> &allCategories();
+
+/** One diagnostic produced by the simulated HLS toolchain. */
+struct HlsError
+{
+    /** Vivado-style code, e.g. "XFORM 202-876" or "SYNCHK-61". */
+    std::string code;
+    /** Full message text, e.g. "Synthesizability check failed: ...". */
+    std::string message;
+    /** Ground-truth category (the checker knows; the localizer re-derives
+     * it from the message text alone). */
+    ErrorCategory category = ErrorCategory::DynamicDataStructures;
+    /** Offending symbol (variable/function/struct name) when known. */
+    std::string symbol;
+    SourceLoc loc;
+
+    /** "ERROR: [code] message" exactly as a log line. */
+    std::string str() const;
+};
+
+/** Factory helpers for every diagnostic the checker can produce. */
+namespace diag {
+
+HlsError recursiveFunction(const std::string &fn, SourceLoc loc);
+HlsError dynamicAllocation(const std::string &var, SourceLoc loc);
+HlsError unknownArraySize(const std::string &var, SourceLoc loc);
+HlsError longDoubleType(const std::string &var, SourceLoc loc);
+HlsError ambiguousOverload(const std::string &callee, SourceLoc loc);
+HlsError pointerUsage(const std::string &var, SourceLoc loc);
+HlsError implicitFpgaConversion(const std::string &context, SourceLoc loc);
+HlsError dataflowArgument(const std::string &var, SourceLoc loc);
+HlsError arrayPartitionMismatch(const std::string &var, long size,
+                                long factor, SourceLoc loc);
+HlsError preSynthesisFailed(const std::string &detail, SourceLoc loc);
+HlsError variableTripCount(const std::string &detail, SourceLoc loc);
+HlsError unsynthesizableStruct(const std::string &name, SourceLoc loc);
+HlsError nonStaticStream(const std::string &var, SourceLoc loc);
+HlsError unionNotSupported(const std::string &name, SourceLoc loc);
+HlsError missingTopFunction(const std::string &name);
+HlsError invalidClock(double mhz);
+HlsError unknownDevice(const std::string &device);
+HlsError badInterfacePragma(const std::string &detail, SourceLoc loc);
+
+} // namespace diag
+
+} // namespace heterogen::hls
+
+#endif // HETEROGEN_HLS_ERRORS_H

@@ -1,0 +1,197 @@
+#include "hls/fpga_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cir/walk.h"
+
+namespace heterogen::hls {
+
+using namespace cir;
+using interp::KernelArg;
+using interp::LoopProfile;
+using interp::LoopRecord;
+
+namespace {
+
+/** Static facts about one loop statement gathered from the AST. */
+struct LoopInfo
+{
+    bool has_pipeline = false;
+    long pipeline_ii = 1;
+    bool has_unroll = false;
+    long unroll_factor = 1;
+    std::string function;
+    bool function_has_dataflow = false;
+    /** Max array_partition factor declared in the same function. */
+    long partition_factor = 1;
+    /** Number of sibling top-level loops in the same function. */
+    int dataflow_siblings = 1;
+};
+
+/** Collect per-loop pragma facts across the design. */
+std::map<int, LoopInfo>
+collectLoopInfo(const TranslationUnit &tu)
+{
+    std::map<int, LoopInfo> info;
+    auto scanFunction = [&](const FunctionDecl &fn) {
+        if (!fn.body)
+            return;
+        bool dataflow = false;
+        long partition = 1;
+        int top_loops = 0;
+        for (const auto &s : fn.body->stmts) {
+            if (s->kind() == StmtKind::Pragma) {
+                const auto &p = static_cast<const PragmaStmt &>(*s);
+                if (p.info.kind == PragmaKind::Dataflow)
+                    dataflow = true;
+                if (p.info.kind == PragmaKind::ArrayPartition)
+                    partition = std::max(partition,
+                                         p.info.paramInt("factor", 1));
+            }
+            if (s->kind() == StmtKind::For ||
+                s->kind() == StmtKind::While) {
+                ++top_loops;
+            }
+        }
+        // Function-scope partition pragmas may also sit inside loops.
+        forEachStmt(static_cast<const Stmt &>(*fn.body),
+                    [&](const Stmt &s) {
+                        if (s.kind() != StmtKind::Pragma)
+                            return;
+                        const auto &p =
+                            static_cast<const PragmaStmt &>(s);
+                        if (p.info.kind == PragmaKind::ArrayPartition)
+                            partition = std::max(
+                                partition, p.info.paramInt("factor", 1));
+                    });
+        forEachStmt(
+            static_cast<const Stmt &>(*fn.body), [&](const Stmt &s) {
+                const Block *body = nullptr;
+                if (s.kind() == StmtKind::For)
+                    body = static_cast<const ForStmt &>(s).body.get();
+                else if (s.kind() == StmtKind::While)
+                    body = static_cast<const WhileStmt &>(s).body.get();
+                if (!body)
+                    return;
+                LoopInfo &li = info[s.node_id];
+                li.function = fn.name;
+                li.function_has_dataflow = dataflow;
+                li.partition_factor = partition;
+                li.dataflow_siblings = std::max(top_loops, 1);
+                for (const auto &inner : body->stmts) {
+                    if (inner->kind() != StmtKind::Pragma)
+                        continue;
+                    const auto &p =
+                        static_cast<const PragmaStmt &>(*inner);
+                    if (p.info.kind == PragmaKind::Pipeline) {
+                        li.has_pipeline = true;
+                        li.pipeline_ii =
+                            std::max(1L, p.info.paramInt("ii", 1));
+                    } else if (p.info.kind == PragmaKind::Unroll) {
+                        li.has_unroll = true;
+                        li.unroll_factor =
+                            std::max(1L, p.info.paramInt("factor", 2));
+                    }
+                }
+            });
+    };
+    for (const auto &fn : tu.functions)
+        scanFunction(*fn);
+    for (const auto &sd : tu.structs) {
+        for (const auto &m : sd->methods)
+            scanFunction(*m);
+    }
+    return info;
+}
+
+/** Memory-port bound on parallel duplication without/with partitioning. */
+constexpr double kBasePorts = 2.0;
+/** Deepest pipeline the model credits (stage count). */
+constexpr double kMaxPipelineDepth = 32.0;
+/** Largest dataflow overlap credited. */
+constexpr double kMaxDataflowOverlap = 4.0;
+/** Cells moved per FPGA cycle over the burst DMA link. */
+constexpr uint64_t kTransferCellsPerCycle = 4;
+/** Fixed kernel launch overhead in FPGA cycles. */
+constexpr uint64_t kLaunchCycles = 100;
+/** Combined per-loop acceleration bound (pipeline x unroll x flatten). */
+constexpr double kMaxLoopAcceleration = 64.0;
+
+} // namespace
+
+FpgaRunResult
+simulateFpga(const TranslationUnit &tu, const HlsConfig &config,
+             const std::string &kernel, const std::vector<KernelArg> &args,
+             interp::RunOptions options,
+             std::vector<LoopAcceleration> *accel_out)
+{
+    FpgaRunResult result;
+    LoopProfile profile;
+    options.loop_profile = &profile;
+    result.run = interp::runProgram(tu, kernel, args, options);
+
+    auto loop_info = collectLoopInfo(tu);
+
+    // First pass: per-loop acceleration from its own pragmas.
+    std::map<int, LoopAcceleration> accel_by_node;
+    for (const auto &[node_id, rec] : profile.loops) {
+        LoopAcceleration accel;
+        accel.node_id = node_id;
+        auto it = loop_info.find(node_id);
+        double cycles = double(rec.cycles_exclusive);
+        if (it != loop_info.end() && rec.iterations > 0) {
+            const LoopInfo &li = it->second;
+            double body = cycles / double(rec.iterations);
+            if (li.has_pipeline) {
+                // II-limited pipeline: steady-state one iteration per II
+                // cycles, bounded by achievable depth.
+                accel.pipeline_factor =
+                    std::clamp(body / double(li.pipeline_ii), 1.0,
+                               kMaxPipelineDepth);
+            }
+            if (li.has_unroll) {
+                double ports = kBasePorts * double(li.partition_factor);
+                accel.unroll_factor = std::clamp(
+                    std::min(double(li.unroll_factor), ports), 1.0,
+                    double(std::max<uint64_t>(rec.iterations, 1)));
+            }
+            if (li.function_has_dataflow && rec.parent_id == -1) {
+                accel.dataflow_factor =
+                    std::clamp(double(li.dataflow_siblings), 1.0,
+                               kMaxDataflowOverlap);
+            }
+        }
+        accel_by_node[node_id] = accel;
+    }
+
+    // Second pass: a loop nested under a pipelined parent is flattened
+    // into the parent's pipeline (Vivado unrolls sub-loops under a
+    // pipeline directive), inheriting the parent's pipeline factor.
+    double accelerated = double(profile.root_cycles);
+    for (const auto &[node_id, rec] : profile.loops) {
+        const LoopAcceleration &accel = accel_by_node[node_id];
+        double divisor = accel.total();
+        auto parent = accel_by_node.find(rec.parent_id);
+        if (parent != accel_by_node.end())
+            divisor *= parent->second.pipeline_factor;
+        divisor = std::clamp(divisor, 1.0, kMaxLoopAcceleration);
+        accelerated += double(rec.cycles_exclusive) / divisor;
+        if (accel_out)
+            accel_out->push_back(accel);
+    }
+
+    // Host<->device data movement.
+    uint64_t cells = 0;
+    for (const KernelArg &a : args)
+        cells += a.size();
+    uint64_t transfer = kLaunchCycles + cells / kTransferCellsPerCycle;
+    result.transfer_cycles = transfer;
+
+    result.fpga_cycles = uint64_t(accelerated) + transfer;
+    double period_ns = 1000.0 / config.clock_mhz;
+    result.millis = double(result.fpga_cycles) * period_ns * 1e-6;
+    return result;
+}
+
+} // namespace heterogen::hls

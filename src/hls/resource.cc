@@ -1,0 +1,145 @@
+#include "hls/resource.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cir/walk.h"
+
+namespace heterogen::hls {
+
+using namespace cir;
+
+double
+ResourceEstimate::utilization(const DeviceSpec &device) const
+{
+    double u = 0;
+    if (device.luts > 0)
+        u = std::max(u, double(luts) / double(device.luts));
+    if (device.ffs > 0)
+        u = std::max(u, double(ffs) / double(device.ffs));
+    if (device.dsps > 0)
+        u = std::max(u, double(dsps) / double(device.dsps));
+    if (device.bram_kb > 0)
+        u = std::max(u, double(bram_bits) /
+                            (double(device.bram_kb) * 1024.0 * 8.0));
+    return u;
+}
+
+bool
+ResourceEstimate::fits(const DeviceSpec &device) const
+{
+    return utilization(device) <= 1.0;
+}
+
+std::string
+ResourceEstimate::str() const
+{
+    std::ostringstream os;
+    os << "LUT=" << luts << " FF=" << ffs << " DSP=" << dsps
+       << " BRAMbits=" << bram_bits << " banks=" << memory_banks;
+    return os.str();
+}
+
+namespace {
+
+/** Total storage bits of a declared type, resolving struct layouts. */
+long
+typeBits(const TranslationUnit &tu, const TypePtr &t)
+{
+    if (!t)
+        return 32;
+    if (t->isStruct()) {
+        const StructDecl *sd = tu.findStruct(t->structName());
+        if (!sd)
+            return 0;
+        long bits = 0;
+        for (const Field &f : sd->fields)
+            bits += typeBits(tu, f.type);
+        return bits;
+    }
+    if (t->isArray()) {
+        long n = t->arraySize();
+        if (n == kUnknownArraySize)
+            n = 1024; // conservative default for unsized arrays
+        return n * typeBits(tu, t->element());
+    }
+    return t->storageBits();
+}
+
+} // namespace
+
+ResourceEstimate
+estimateResources(const TranslationUnit &tu)
+{
+    ResourceEstimate est;
+
+    long partition_factor = 1;
+    forEachStmt(tu, [&](const Stmt &s) {
+        if (s.kind() != StmtKind::Pragma)
+            return;
+        const auto &p = static_cast<const PragmaStmt &>(s);
+        if (p.info.kind == PragmaKind::ArrayPartition) {
+            partition_factor =
+                std::max(partition_factor, p.info.paramInt("factor", 1));
+        }
+    });
+
+    // Storage: arrays to BRAM, scalars to FF.
+    auto account_decl = [&](const DeclStmt &d) {
+        long bits = typeBits(tu, d.type);
+        if (d.type->isArray() || d.type->isStruct()) {
+            est.bram_bits += bits;
+            est.memory_banks += partition_factor;
+        } else {
+            est.ffs += bits;
+        }
+    };
+    // forEachStmt over the TU covers globals and every function body.
+    forEachStmt(tu, [&](const Stmt &s) {
+        if (s.kind() == StmtKind::Decl)
+            account_decl(static_cast<const DeclStmt &>(s));
+    });
+
+    // Compute: operator mix over the whole design, scaled by unroll
+    // factors (duplicated processing elements).
+    long unroll_scale = 1;
+    forEachStmt(tu, [&](const Stmt &s) {
+        if (s.kind() != StmtKind::Pragma)
+            return;
+        const auto &p = static_cast<const PragmaStmt &>(s);
+        if (p.info.kind == PragmaKind::Unroll)
+            unroll_scale = std::max(unroll_scale,
+                                    p.info.paramInt("factor", 1));
+    });
+    forEachExpr(tu, [&](const Expr &e) {
+        switch (e.kind()) {
+          case ExprKind::Binary: {
+            const auto &b = static_cast<const Binary &>(e);
+            switch (b.op) {
+              case BinaryOp::Mul:
+                est.dsps += unroll_scale;
+                est.luts += 64 * unroll_scale;
+                break;
+              case BinaryOp::Div:
+              case BinaryOp::Mod:
+                est.dsps += 4 * unroll_scale;
+                est.luts += 256 * unroll_scale;
+                break;
+              default:
+                est.luts += 32 * unroll_scale;
+                break;
+            }
+            break;
+          }
+          case ExprKind::Call:
+            est.luts += 128 * unroll_scale;
+            est.dsps += 2 * unroll_scale;
+            break;
+          default:
+            break;
+        }
+    });
+    return est;
+}
+
+} // namespace heterogen::hls

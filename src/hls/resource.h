@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bitwidth-sensitive FPGA resource estimation.
+ *
+ * Mirrors the scheduler's allocation step: storage (FF/BRAM) follows
+ * declared bit widths — which is why HeteroGen's profile-guided type
+ * narrowing saves resources — and compute (LUT/DSP) follows the operator
+ * mix. Partitioning multiplies memory banks.
+ */
+
+#ifndef HETEROGEN_HLS_RESOURCE_H
+#define HETEROGEN_HLS_RESOURCE_H
+
+#include <string>
+
+#include "cir/ast.h"
+#include "hls/config.h"
+
+namespace heterogen::hls {
+
+/** Estimated device utilization of one design. */
+struct ResourceEstimate
+{
+    long luts = 0;
+    long ffs = 0;
+    long dsps = 0;
+    long bram_bits = 0;
+    long memory_banks = 0;
+
+    /** Highest utilization fraction across resource classes. */
+    double utilization(const DeviceSpec &device) const;
+
+    /** True if the design fits the device. */
+    bool fits(const DeviceSpec &device) const;
+
+    std::string str() const;
+};
+
+/** Estimate resources for a design. */
+ResourceEstimate estimateResources(const cir::TranslationUnit &tu);
+
+} // namespace heterogen::hls
+
+#endif // HETEROGEN_HLS_RESOURCE_H

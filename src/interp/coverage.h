@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Branch-coverage accounting, the fuzzer's feedback signal.
+ */
+
+#ifndef HETEROGEN_INTERP_COVERAGE_H
+#define HETEROGEN_INTERP_COVERAGE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace heterogen::interp {
+
+/**
+ * Tracks which (branch id, outcome) edges executed, plus AFL-style
+ * hit-count buckets per edge. A program with B branch points has 2*B
+ * edges; coverage() is distinct edges over that denominator, while
+ * novelty (coversNew) also counts a previously-unseen hit-count bucket —
+ * so inputs driving loops to new iteration magnitudes are retained even
+ * when they add no new edge.
+ */
+class CoverageMap
+{
+  public:
+    CoverageMap() = default;
+    explicit CoverageMap(int num_branches) : num_branches_(num_branches) {}
+
+    void
+    record(int branch_id, bool taken)
+    {
+        if (branch_id < 0)
+            return;
+        hits_.insert({branch_id, taken});
+        counts_[{branch_id, taken}] += 1;
+    }
+
+    /** Merge another map's edges and buckets; true if anything was new. */
+    bool
+    merge(const CoverageMap &other)
+    {
+        bool grew = false;
+        for (const auto &h : other.hits_)
+            grew |= hits_.insert(h).second;
+        for (const auto &b : other.bucketSet())
+            grew |= buckets_.insert(b).second;
+        return grew;
+    }
+
+    /** True if `other` covers a new edge or a new hit-count bucket. */
+    bool
+    coversNew(const CoverageMap &other) const
+    {
+        for (const auto &h : other.hits_) {
+            if (!hits_.count(h))
+                return true;
+        }
+        for (const auto &b : other.bucketSet()) {
+            if (!buckets_.count(b))
+                return true;
+        }
+        return false;
+    }
+
+    size_t hitCount() const { return hits_.size(); }
+    int numBranches() const { return num_branches_; }
+    void setNumBranches(int n) { num_branches_ = n; }
+
+    /** Fraction of branch edges covered in [0,1]; 1 when no branches. */
+    double
+    coverage() const
+    {
+        if (num_branches_ <= 0)
+            return 1.0;
+        return static_cast<double>(hits_.size()) / (2.0 * num_branches_);
+    }
+
+    void
+    clear()
+    {
+        hits_.clear();
+        counts_.clear();
+        buckets_.clear();
+    }
+
+  private:
+    /** AFL's power-of-two hit-count bucketing. */
+    static int
+    bucketOf(uint64_t count)
+    {
+        if (count <= 3)
+            return static_cast<int>(count);
+        int b = 4;
+        uint64_t limit = 8;
+        while (count >= limit && b < 12) {
+            ++b;
+            limit <<= 1;
+        }
+        return b;
+    }
+
+    /** Buckets derived from per-run counts, merged with stored ones. */
+    std::set<std::tuple<int, bool, int>>
+    bucketSet() const
+    {
+        std::set<std::tuple<int, bool, int>> out = buckets_;
+        for (const auto &[edge, count] : counts_)
+            out.insert({edge.first, edge.second, bucketOf(count)});
+        return out;
+    }
+
+    std::set<std::pair<int, bool>> hits_;
+    std::map<std::pair<int, bool>, uint64_t> counts_;
+    std::set<std::tuple<int, bool, int>> buckets_;
+    int num_branches_ = 0;
+};
+
+} // namespace heterogen::interp
+
+#endif // HETEROGEN_INTERP_COVERAGE_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tree-walking interpreter for CIR programs.
+ *
+ * The interpreter executes a translation unit's functions with precise
+ * memory safety (traps), branch-coverage recording, value-range profiling,
+ * and a CPU cycle model used as the paper's "original C on CPU" latency
+ * baseline. The same engine, driven through hls::FpgaSimulator, provides
+ * functional FPGA co-simulation.
+ */
+
+#ifndef HETEROGEN_INTERP_INTERP_H
+#define HETEROGEN_INTERP_INTERP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cir/ast.h"
+#include "interp/coverage.h"
+#include "interp/kernel_arg.h"
+#include "interp/loop_profile.h"
+#include "interp/memory.h"
+#include "interp/profile.h"
+
+namespace heterogen::interp {
+
+/** Knobs for one interpreter run. */
+struct RunOptions
+{
+    /** Abort with a trap after this many evaluation steps. */
+    uint64_t max_steps = 20'000'000;
+    /** Abort with a trap beyond this call depth (recursion guard). */
+    int max_call_depth = 256;
+    /** Record branch edges here when non-null. */
+    CoverageMap *coverage = nullptr;
+    /** Record value ranges here when non-null. */
+    ValueProfile *profile = nullptr;
+    /** Record per-loop cycle attribution here when non-null. */
+    LoopProfile *loop_profile = nullptr;
+    /**
+     * When non-empty: the first call to this function captures its
+     * evaluated arguments into captured_args (kernel seed extraction).
+     */
+    std::string capture_function;
+    std::vector<KernelArg> *captured_args = nullptr;
+};
+
+/** Outcome of one run. */
+struct RunResult
+{
+    bool ok = false;
+    std::string trap; ///< trap message when !ok
+    bool has_ret = false;
+    KernelArg ret;
+    /** Post-run state of every parameter (arrays/streams reflect writes). */
+    std::vector<KernelArg> out_args;
+    uint64_t cycles = 0;
+    uint64_t steps = 0;
+
+    /** Wall-clock estimate at the CPU model's 2 GHz clock. */
+    double cpuMillis() const { return double(cycles) * 0.5e-6; }
+
+    /** Behavioural identity: return value, out state and trap equality. */
+    bool sameBehavior(const RunResult &other) const;
+};
+
+/**
+ * Interpreter facade bound to one translation unit.
+ *
+ * Each call to run() executes with fresh memory and fresh globals; struct
+ * layouts are cached across runs.
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const cir::TranslationUnit &tu,
+                         RunOptions options = {});
+    ~Interpreter();
+
+    Interpreter(const Interpreter &) = delete;
+    Interpreter &operator=(const Interpreter &) = delete;
+
+    /**
+     * Run `function` with the given kernel arguments.
+     * Traps are reported in the result, never thrown.
+     */
+    RunResult run(const std::string &function,
+                  const std::vector<KernelArg> &args);
+
+  private:
+    const cir::TranslationUnit &tu_;
+    RunOptions options_;
+};
+
+/** Convenience one-shot run. */
+RunResult runProgram(const cir::TranslationUnit &tu,
+                     const std::string &function,
+                     const std::vector<KernelArg> &args,
+                     RunOptions options = {});
+
+} // namespace heterogen::interp
+
+#endif // HETEROGEN_INTERP_INTERP_H

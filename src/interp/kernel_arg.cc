@@ -1,0 +1,64 @@
+#include "interp/kernel_arg.h"
+
+#include <sstream>
+
+namespace heterogen::interp {
+
+std::string
+KernelArg::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::Int:
+        os << i;
+        break;
+      case Kind::Float:
+        os << f;
+        break;
+      case Kind::IntArray: {
+        os << "[";
+        for (size_t k = 0; k < ints.size(); ++k) {
+            if (k)
+                os << ",";
+            if (k >= 8) {
+                os << "...(" << ints.size() << ")";
+                break;
+            }
+            os << ints[k];
+        }
+        os << "]";
+        break;
+      }
+      case Kind::FloatArray: {
+        os << "[";
+        for (size_t k = 0; k < floats.size(); ++k) {
+            if (k)
+                os << ",";
+            if (k >= 8) {
+                os << "...(" << floats.size() << ")";
+                break;
+            }
+            os << floats[k];
+        }
+        os << "]";
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+argsToString(const std::vector<KernelArg> &args)
+{
+    std::ostringstream os;
+    os << "(";
+    for (size_t k = 0; k < args.size(); ++k) {
+        if (k)
+            os << ", ";
+        os << args[k].str();
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace heterogen::interp

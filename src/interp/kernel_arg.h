@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Kernel-boundary argument values.
+ *
+ * A KernelArg is the serializable form of one kernel parameter: a scalar
+ * or a flat array of ints/floats. The fuzzer mutates KernelArgs, the
+ * interpreter materializes them into memory blocks or streams, and
+ * differential testing compares them structurally.
+ */
+
+#ifndef HETEROGEN_INTERP_KERNEL_ARG_H
+#define HETEROGEN_INTERP_KERNEL_ARG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heterogen::interp {
+
+/** One kernel-entry argument (or returned/out value). */
+struct KernelArg
+{
+    enum class Kind { Int, Float, IntArray, FloatArray };
+
+    Kind kind = Kind::Int;
+    long i = 0;
+    double f = 0;
+    std::vector<long> ints;
+    std::vector<double> floats;
+
+    static KernelArg
+    ofInt(long v)
+    {
+        KernelArg a;
+        a.kind = Kind::Int;
+        a.i = v;
+        return a;
+    }
+
+    static KernelArg
+    ofFloat(double v)
+    {
+        KernelArg a;
+        a.kind = Kind::Float;
+        a.f = v;
+        return a;
+    }
+
+    static KernelArg
+    ofInts(std::vector<long> v)
+    {
+        KernelArg a;
+        a.kind = Kind::IntArray;
+        a.ints = std::move(v);
+        return a;
+    }
+
+    static KernelArg
+    ofFloats(std::vector<double> v)
+    {
+        KernelArg a;
+        a.kind = Kind::FloatArray;
+        a.floats = std::move(v);
+        return a;
+    }
+
+    bool isScalar() const { return kind == Kind::Int || kind == Kind::Float; }
+    bool isArray() const { return !isScalar(); }
+
+    size_t
+    size() const
+    {
+        switch (kind) {
+          case Kind::IntArray: return ints.size();
+          case Kind::FloatArray: return floats.size();
+          default: return 1;
+        }
+    }
+
+    bool operator==(const KernelArg &other) const = default;
+
+    std::string str() const;
+};
+
+/** Render a whole argument vector, e.g. for logs and test names. */
+std::string argsToString(const std::vector<KernelArg> &args);
+
+} // namespace heterogen::interp
+
+#endif // HETEROGEN_INTERP_KERNEL_ARG_H

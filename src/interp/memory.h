@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Block-based memory model for the interpreter.
+ *
+ * Every variable, array, struct instance, and malloc'd object is one block
+ * of Value cells. Pointers are (block, offset) pairs, so out-of-bounds,
+ * null-dereference and use-after-free become precise traps rather than
+ * undefined behaviour — the trap text feeds differential testing.
+ */
+
+#ifndef HETEROGEN_INTERP_MEMORY_H
+#define HETEROGEN_INTERP_MEMORY_H
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace heterogen::interp {
+
+/** Raised on any memory-safety or arithmetic trap during interpretation. */
+class Trap : public std::runtime_error
+{
+  public:
+    explicit Trap(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** One allocated block of cells. */
+struct MemBlock
+{
+    std::vector<Value> cells;
+    cir::TypePtr elem_type; ///< declared cell type (nullable)
+    /**
+     * For struct-typed blocks: the repeating per-cell type pattern (one
+     * entry per field). Empty for scalar blocks.
+     */
+    std::vector<cir::TypePtr> cell_types;
+    bool alive = true;
+    bool from_malloc = false;
+};
+
+/**
+ * The interpreter's store: blocks plus a stream table.
+ */
+class Memory
+{
+  public:
+    Memory();
+
+    /** Allocate a block of `count` cells typed `elem`. Returns block id. */
+    int32_t allocate(int count, cir::TypePtr elem, bool from_malloc = false);
+
+    /**
+     * Allocate `count` instances of a struct whose fields have the given
+     * per-cell type pattern; total cells = count * pattern.size().
+     */
+    int32_t allocatePattern(int count, cir::TypePtr tag,
+                            std::vector<cir::TypePtr> pattern,
+                            bool from_malloc = false);
+
+    /** Free a malloc'd block; traps on double free / non-heap free. */
+    void release(Place p);
+
+    /** Load one cell; traps on bad access. */
+    const Value &load(Place p) const;
+
+    /** Store one cell with coercion to the block's element type. */
+    void store(Place p, const Value &v);
+
+    /** Store without type coercion (used to seed typed aggregates). */
+    void storeRaw(Place p, Value v);
+
+    /** Number of cells in a block. */
+    int blockSize(int32_t block) const;
+
+    /** The block's declared element type (may be null). */
+    const cir::TypePtr &blockType(int32_t block) const;
+
+    /** True if the block id is valid and alive. */
+    bool alive(int32_t block) const;
+
+    /** Create a new stream; returns its id. */
+    int32_t createStream();
+
+    /** FIFO ops; read traps on empty. */
+    void streamWrite(int32_t id, const Value &v);
+    Value streamRead(int32_t id);
+    bool streamEmpty(int32_t id) const;
+    size_t streamSize(int32_t id) const;
+
+    /** Total live heap cells (resource accounting / leak tests). */
+    size_t liveCells() const;
+
+  private:
+    const MemBlock &checkedBlock(Place p) const;
+    std::deque<Value> &stream(int32_t id);
+    const std::deque<Value> &stream(int32_t id) const;
+
+    std::vector<MemBlock> blocks_;
+    std::vector<std::deque<Value>> streams_;
+};
+
+} // namespace heterogen::interp
+
+#endif // HETEROGEN_INTERP_MEMORY_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Runtime values for the CIR interpreter.
+ *
+ * Scalars carry their declared CIR type so stores can apply HLS bitwidth
+ * wrapping / float quantization — the mechanism behind CPU-vs-FPGA
+ * behavioural divergence that differential testing detects.
+ */
+
+#ifndef HETEROGEN_INTERP_VALUE_H
+#define HETEROGEN_INTERP_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+#include "cir/type.h"
+
+namespace heterogen::interp {
+
+/** Runtime value categories. */
+enum class ValueKind
+{
+    Unset,   ///< uninitialized cell
+    Int,     ///< any integer-family value
+    Float,   ///< any floating-family value
+    Pointer, ///< (block, offset) into Memory; block 0 is the null block
+    Stream,  ///< handle into the stream table
+};
+
+/** Address of one cell in the block-based memory model. */
+struct Place
+{
+    int32_t block = 0;
+    int32_t offset = 0;
+
+    bool isNull() const { return block == 0; }
+    bool
+    operator==(const Place &other) const
+    {
+        return block == other.block && offset == other.offset;
+    }
+};
+
+/** One scalar runtime value. */
+class Value
+{
+  public:
+    Value() = default;
+
+    static Value
+    makeInt(long v, cir::TypePtr type = nullptr)
+    {
+        Value out;
+        out.kind_ = ValueKind::Int;
+        out.int_ = v;
+        out.type_ = std::move(type);
+        return out;
+    }
+
+    static Value
+    makeFloat(double v, cir::TypePtr type = nullptr)
+    {
+        Value out;
+        out.kind_ = ValueKind::Float;
+        out.float_ = v;
+        out.type_ = std::move(type);
+        return out;
+    }
+
+    static Value
+    makePointer(Place p)
+    {
+        Value out;
+        out.kind_ = ValueKind::Pointer;
+        out.place_ = p;
+        return out;
+    }
+
+    static Value
+    makeStream(int32_t stream_id)
+    {
+        Value out;
+        out.kind_ = ValueKind::Stream;
+        out.int_ = stream_id;
+        return out;
+    }
+
+    ValueKind kind() const { return kind_; }
+    bool isUnset() const { return kind_ == ValueKind::Unset; }
+    bool isInt() const { return kind_ == ValueKind::Int; }
+    bool isFloat() const { return kind_ == ValueKind::Float; }
+    bool isPointer() const { return kind_ == ValueKind::Pointer; }
+    bool isStream() const { return kind_ == ValueKind::Stream; }
+    bool isNumeric() const { return isInt() || isFloat(); }
+
+    long asInt() const { return int_; }
+    double asFloat() const { return isInt() ? double(int_) : float_; }
+    Place asPlace() const { return place_; }
+    int32_t streamId() const { return static_cast<int32_t>(int_); }
+
+    /** Declared cell type (may be null for temporaries). */
+    const cir::TypePtr &type() const { return type_; }
+
+    /** Truthiness per C semantics. */
+    bool truthy() const;
+
+    /** Structural equality used by differential testing. */
+    bool equals(const Value &other) const;
+
+    std::string str() const;
+
+  private:
+    ValueKind kind_ = ValueKind::Unset;
+    long int_ = 0;
+    double float_ = 0;
+    Place place_;
+    cir::TypePtr type_;
+};
+
+/**
+ * Coerce a value for storage into a cell of the given declared type,
+ * applying integer bitwidth wrapping and float quantization.
+ */
+Value coerceToType(const Value &value, const cir::TypePtr &type);
+
+/** Wrap an integer to a signed/unsigned field of `bits` bits. */
+long wrapInt(long v, int bits, bool is_signed);
+
+/** Quantize a double to a float with `mant` mantissa bits. */
+double quantizeFloat(double v, int mantissa_bits);
+
+} // namespace heterogen::interp
+
+#endif // HETEROGEN_INTERP_VALUE_H

@@ -1,0 +1,39 @@
+#include "repair/diffstat.h"
+
+#include <vector>
+
+#include "support/strings.h"
+
+namespace heterogen::repair {
+
+DiffStat
+diffLines(const std::string &before, const std::string &after)
+{
+    std::vector<std::string> a = split(before, '\n');
+    std::vector<std::string> b = split(after, '\n');
+    // Drop trailing empty fields produced by terminal newlines.
+    while (!a.empty() && a.back().empty())
+        a.pop_back();
+    while (!b.empty() && b.back().empty())
+        b.pop_back();
+
+    const size_t n = a.size();
+    const size_t m = b.size();
+    // Classic O(n*m) LCS table; program texts here are small (<5k lines).
+    std::vector<std::vector<int>> lcs(n + 1, std::vector<int>(m + 1, 0));
+    for (size_t i = n; i-- > 0;) {
+        for (size_t j = m; j-- > 0;) {
+            if (trim(a[i]) == trim(b[j]))
+                lcs[i][j] = lcs[i + 1][j + 1] + 1;
+            else
+                lcs[i][j] = std::max(lcs[i + 1][j], lcs[i][j + 1]);
+        }
+    }
+    DiffStat stat;
+    stat.common = lcs[0][0];
+    stat.removed = static_cast<int>(n) - stat.common;
+    stat.added = static_cast<int>(m) - stat.common;
+    return stat;
+}
+
+} // namespace heterogen::repair

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Line-level diff accounting for ΔLOC reporting (Table 5).
+ */
+
+#ifndef HETEROGEN_REPAIR_DIFFSTAT_H
+#define HETEROGEN_REPAIR_DIFFSTAT_H
+
+#include <string>
+
+namespace heterogen::repair {
+
+/** Summary of an LCS line diff between two program texts. */
+struct DiffStat
+{
+    int added = 0;
+    int removed = 0;
+    int common = 0;
+
+    /** The paper's ΔLOC: edited lines relative to the original. */
+    int delta() const { return added + removed; }
+};
+
+/** Compute the line diff between two printed programs. */
+DiffStat diffLines(const std::string &before, const std::string &after);
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_DIFFSTAT_H

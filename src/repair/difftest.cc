@@ -1,0 +1,53 @@
+#include "repair/difftest.h"
+
+#include "hls/fpga_model.h"
+#include "interp/interp.h"
+
+namespace heterogen::repair {
+
+using interp::RunOptions;
+using interp::RunResult;
+
+DiffTestResult
+diffTest(const cir::TranslationUnit &original,
+         const std::string &original_kernel,
+         const cir::TranslationUnit &candidate,
+         const hls::HlsConfig &config, const fuzz::TestSuite &suite,
+         int max_tests)
+{
+    DiffTestResult result;
+    int limit = max_tests > 0
+                    ? std::min<int>(max_tests, int(suite.size()))
+                    : int(suite.size());
+    result.total = limit;
+
+    double cpu_total_ms = 0;
+    double fpga_total_ms = 0;
+    uint64_t total_steps = 0;
+
+    for (int i = 0; i < limit; ++i) {
+        const fuzz::TestCase &test = suite[i];
+        RunOptions opts;
+        RunResult cpu = interp::runProgram(original, original_kernel,
+                                           test.args, opts);
+        hls::FpgaRunResult fpga = hls::simulateFpga(
+            candidate, config, config.top_function, test.args, opts);
+        total_steps += cpu.steps + fpga.run.steps;
+        cpu_total_ms += cpu.cpuMillis();
+        fpga_total_ms += fpga.millis;
+        if (cpu.sameBehavior(fpga.run))
+            result.identical += 1;
+        else
+            result.failing.push_back(test.id);
+    }
+    if (limit > 0) {
+        result.cpu_millis = cpu_total_ms / limit;
+        result.fpga_millis = fpga_total_ms / limit;
+    }
+    // One batched RTL co-simulation session: fixed setup plus
+    // work-proportional simulation time.
+    result.sim_minutes = 0.2 + double(total_steps) / 5.0e6;
+    return result;
+}
+
+} // namespace heterogen::repair

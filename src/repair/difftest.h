@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Differential testing: CPU (original) versus FPGA co-simulation
+ * (candidate) over a generated test suite — HeteroGen's fitness oracle.
+ */
+
+#ifndef HETEROGEN_REPAIR_DIFFTEST_H
+#define HETEROGEN_REPAIR_DIFFTEST_H
+
+#include <string>
+#include <vector>
+
+#include "cir/ast.h"
+#include "fuzz/testsuite.h"
+#include "hls/config.h"
+
+namespace heterogen::repair {
+
+/** Outcome of one differential-testing campaign. */
+struct DiffTestResult
+{
+    int total = 0;
+    int identical = 0;
+    /** Indices of tests with divergent behaviour. */
+    std::vector<int> failing;
+    /** Mean latency of the original kernel on the CPU model (ms). */
+    double cpu_millis = 0;
+    /** Mean latency of the candidate on the FPGA model (ms). */
+    double fpga_millis = 0;
+    /** Simulated wall-clock cost of running the campaign (minutes). */
+    double sim_minutes = 0;
+
+    double
+    passRatio() const
+    {
+        return total == 0 ? 1.0
+                          : static_cast<double>(identical) / total;
+    }
+
+    bool allIdentical() const { return identical == total; }
+    /** Did the FPGA candidate beat the CPU original? */
+    bool improved() const { return fpga_millis < cpu_millis; }
+};
+
+/**
+ * Run the suite on both sides and compare input-output behaviour.
+ *
+ * @param original        the input C program (CPU reference)
+ * @param original_kernel kernel entry in the original program
+ * @param candidate       the HLS candidate
+ * @param config          toolchain config (top function, clock)
+ * @param suite           generated + pre-existing tests
+ * @param max_tests       cap on tests executed (0 = all)
+ */
+DiffTestResult diffTest(const cir::TranslationUnit &original,
+                        const std::string &original_kernel,
+                        const cir::TranslationUnit &candidate,
+                        const hls::HlsConfig &config,
+                        const fuzz::TestSuite &suite, int max_tests = 0);
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_DIFFTEST_H

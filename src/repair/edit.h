@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parameterized repair edits (Table 2).
+ *
+ * Each edit is a named AST/config transform with declared dependences on
+ * other edits; the dependence/precedence structure (Figure 7c) orders the
+ * search's enumeration of applicable repairs.
+ */
+
+#ifndef HETEROGEN_REPAIR_EDIT_H
+#define HETEROGEN_REPAIR_EDIT_H
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cir/ast.h"
+#include "hls/config.h"
+#include "hls/errors.h"
+#include "interp/profile.h"
+#include "support/rng.h"
+
+namespace heterogen::repair {
+
+/** Everything a transform may consult or mutate while applying. */
+struct RepairContext
+{
+    /** The candidate program; transforms mutate it in place. */
+    cir::TranslationUnit &tu;
+    /** Toolchain configuration; top-function edits mutate it. */
+    hls::HlsConfig &config;
+    /** Offending symbol from localization (may be empty). */
+    std::string symbol;
+    /** Value profile of the original program (bitwidth/size estimation). */
+    const interp::ValueProfile *profile = nullptr;
+    /** Search randomness (parameter exploration). */
+    Rng *rng = nullptr;
+    /**
+     * When true, edits with free parameters (partition factors, unroll
+     * factors, array sizes) draw them randomly instead of computing the
+     * guided value — the WithoutDependence baseline's behaviour, whose
+     * wrong guesses burn full HLS compilations.
+     */
+    bool explore_randomly = false;
+};
+
+/**
+ * One parameterized edit template.
+ *
+ * apply() returns true when it changed the program (or configuration);
+ * false when the template does not match the current candidate — the
+ * search treats a false application as a wasted (but cheap) attempt.
+ */
+struct EditTemplate
+{
+    /** Template name with parameter signature, e.g. "constructor($s1:struct)". */
+    std::string name;
+    /** Error categories whose repairs this edit participates in (pointer
+     * removal, for instance, serves both dynamic-data-structure and
+     * unsupported-type errors). */
+    std::vector<hls::ErrorCategory> categories;
+    /** Names of edits that must have been applied before this one. */
+    std::vector<std::string> requires_edits;
+    /** True for edits that usually improve performance (§5.1 takeaway). */
+    bool performance_improving = false;
+    /** The transform itself. */
+    std::function<bool(RepairContext &)> apply;
+};
+
+/** The full edit registry, grouped lazily by category. */
+class EditRegistry
+{
+  public:
+    /** Singleton with every template from Table 2 registered. */
+    static const EditRegistry &instance();
+
+    /**
+     * Extensibility hook: register an additional template (e.g. the
+     * matrix-partitioning transformation §6.4 suggests). The name must
+     * be unique; fatal otherwise. Visible to every later search.
+     */
+    static void registerTemplate(EditTemplate custom);
+
+    /** All templates of a category, in dependence-respecting order. */
+    std::vector<const EditTemplate *>
+    forCategory(hls::ErrorCategory category) const;
+
+    /** Find by exact name; nullptr if absent. */
+    const EditTemplate *find(const std::string &name) const;
+
+    /** Every registered template. */
+    const std::vector<EditTemplate> &all() const { return templates_; }
+
+    /**
+     * Templates of a category whose dependences are satisfied by the
+     * given set of already-applied edit names (dependence-guided
+     * enumeration, §5.3).
+     */
+    std::vector<const EditTemplate *>
+    applicable(hls::ErrorCategory category,
+               const std::set<std::string> &applied) const;
+
+  private:
+    EditRegistry();
+    static EditRegistry &mutableInstance();
+    std::vector<EditTemplate> templates_;
+};
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_EDIT_H

@@ -1,0 +1,178 @@
+/** @file The edit registry: every Table 2 template with its category
+ * membership and dependence edges (Figure 7c). */
+
+#include "repair/edit.h"
+
+#include "repair/transforms.h"
+#include "support/diagnostics.h"
+
+namespace heterogen::repair {
+
+using hls::ErrorCategory;
+
+namespace {
+
+EditTemplate
+make(std::string name, std::vector<ErrorCategory> categories,
+     std::vector<std::string> requires_edits,
+     std::function<bool(RepairContext &)> apply, bool perf = false)
+{
+    EditTemplate t;
+    t.name = std::move(name);
+    t.categories = std::move(categories);
+    t.requires_edits = std::move(requires_edits);
+    t.performance_improving = perf;
+    t.apply = std::move(apply);
+    return t;
+}
+
+} // namespace
+
+EditRegistry::EditRegistry()
+{
+    using namespace xform;
+    const auto Dyn = ErrorCategory::DynamicDataStructures;
+    const auto Types = ErrorCategory::UnsupportedDataTypes;
+    const auto Flow = ErrorCategory::DataflowOptimization;
+    const auto Loop = ErrorCategory::LoopParallelization;
+    const auto Struct = ErrorCategory::StructAndUnion;
+    const auto Top = ErrorCategory::TopFunction;
+
+    // --- dynamic data structures (HeteroRefactor-derived chain) -------
+    // Arena insertion also serves pointer errors (classified under
+    // unsupported data types): it is the prerequisite of pointer
+    // removal wherever that chain is triggered.
+    templates_.push_back(make("insert($a1:arr,$d1:dyn)", {Dyn, Types}, {},
+                              insertArena));
+    templates_.push_back(make("pointer($v1:ptr)", {Dyn, Types},
+                              {"insert($a1:arr,$d1:dyn)"},
+                              pointerToIndex));
+    templates_.push_back(make("stack_trans($d1:dyn)", {Dyn},
+                              {"pointer($v1:ptr)"}, stackTransform));
+    templates_.push_back(make("array_static($a1:arr,$i1:int)",
+                              {Dyn, Types}, {}, arrayStatic));
+    templates_.push_back(make("resize($a1:arr)", {Dyn}, {},
+                              resizeGeneratedArrays));
+
+    // --- unsupported data types ----------------------------------------
+    templates_.push_back(make("type_trans($v1:var)", {Types}, {},
+                              typeTransform));
+    templates_.push_back(make("type_casting($v1:var)", {Types},
+                              {"type_trans($v1:var)"}, typeCasting));
+    templates_.push_back(make("op_overload($v1:var)", {Types},
+                              {"type_casting($v1:var)"}, opOverload));
+
+    // --- dataflow optimization -------------------------------------------
+    templates_.push_back(make("explore_partition($p1:pragma,$a1:arr)",
+                              {Flow}, {}, fixPartitionFactor, true));
+    templates_.push_back(make("segment($a1:arr)", {Flow}, {},
+                              duplicateBuffer, true));
+    templates_.push_back(make("delete($p1:pragma,$f1:func)", {Flow, Top},
+                              {}, deleteDataflow));
+    templates_.push_back(make("move($p1:pragma,$f1:func)", {Flow, Top},
+                              {}, moveDataflowTop));
+
+    // --- loop parallelization -----------------------------------------------
+    templates_.push_back(make("explore_unroll($p1:pragma,$l1:loop)",
+                              {Loop}, {}, reduceUnroll));
+    templates_.push_back(make("index_static($l1:loop)", {Loop}, {},
+                              insertTripcount));
+    templates_.push_back(make("pipeline($l1:loop)", {Loop}, {},
+                              insertPipeline, true));
+    templates_.push_back(make("unroll($l1:loop)", {Loop},
+                              {"pipeline($l1:loop)"}, insertUnroll,
+                              true));
+    templates_.push_back(make("partition($a1:arr)", {Loop, Flow},
+                              {"unroll($l1:loop)"}, insertArrayPartition,
+                              true));
+    templates_.push_back(make("dataflow($f1:func)", {Flow},
+                              {"pipeline($l1:loop)"}, insertDataflow,
+                              true));
+
+    // --- struct and union ------------------------------------------------------
+    templates_.push_back(make("constructor($s1:struct)", {Struct}, {},
+                              insertConstructor));
+    templates_.push_back(make("flatten($s1:struct)", {Struct}, {},
+                              flattenStruct));
+    templates_.push_back(make("stream_static($f1:stream,$s1:struct)",
+                              {Struct}, {"constructor($s1:struct)"},
+                              streamStatic));
+    templates_.push_back(make("inst_update($s1:struct)", {Struct},
+                              {"flatten($s1:struct)"}, updateInstances));
+    templates_.push_back(make("union_flatten($s1:struct)", {Struct}, {},
+                              unionToStruct));
+
+    // --- top function ---------------------------------------------------------------
+    templates_.push_back(make("top_name($f1:func)", {Top}, {},
+                              fixTopFunction));
+    templates_.push_back(make("top_clock()", {Top}, {}, fixClock));
+    templates_.push_back(make("top_device()", {Top}, {}, fixDevice));
+    templates_.push_back(make("interface($p1:pragma)", {Top}, {},
+                              fixInterfacePragma));
+}
+
+EditRegistry &
+EditRegistry::mutableInstance()
+{
+    static EditRegistry registry;
+    return registry;
+}
+
+const EditRegistry &
+EditRegistry::instance()
+{
+    return mutableInstance();
+}
+
+void
+EditRegistry::registerTemplate(EditTemplate custom)
+{
+    EditRegistry &registry = mutableInstance();
+    if (registry.find(custom.name))
+        fatal("edit template already registered: ", custom.name);
+    registry.templates_.push_back(std::move(custom));
+}
+
+std::vector<const EditTemplate *>
+EditRegistry::forCategory(hls::ErrorCategory category) const
+{
+    std::vector<const EditTemplate *> out;
+    for (const EditTemplate &t : templates_) {
+        for (hls::ErrorCategory c : t.categories) {
+            if (c == category) {
+                out.push_back(&t);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+const EditTemplate *
+EditRegistry::find(const std::string &name) const
+{
+    for (const EditTemplate &t : templates_) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::vector<const EditTemplate *>
+EditRegistry::applicable(hls::ErrorCategory category,
+                         const std::set<std::string> &applied) const
+{
+    std::vector<const EditTemplate *> out;
+    for (const EditTemplate *t : forCategory(category)) {
+        if (applied.count(t->name))
+            continue; // already applied
+        bool deps_met = true;
+        for (const std::string &dep : t->requires_edits)
+            deps_met &= applied.count(dep) > 0;
+        if (deps_met)
+            out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace heterogen::repair

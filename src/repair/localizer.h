@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-type-specific repair localization (§5.2).
+ *
+ * HLS error messages are classified into the six categories by keyword
+ * extraction — the same classifier doubles as the forum-study classifier
+ * behind Figure 3 — and mapped to repair locations (symbols) that
+ * parameterize the fix templates.
+ */
+
+#ifndef HETEROGEN_REPAIR_LOCALIZER_H
+#define HETEROGEN_REPAIR_LOCALIZER_H
+
+#include <optional>
+#include <string>
+
+#include "hls/errors.h"
+
+namespace heterogen::repair {
+
+/**
+ * Classify an arbitrary HLS error/post message into one of the six
+ * categories by keyword extraction. Returns nullopt for text with no
+ * recognizable HLS keyword. User-registered rules take precedence over
+ * the built-in keyword table.
+ */
+std::optional<hls::ErrorCategory>
+classifyMessage(const std::string &message);
+
+/**
+ * Extensibility hook (§5.2): map an additional keyword (matched
+ * case-insensitively) to a category, so diagnostics from a new HLS
+ * toolchain version localize without modifying the library. Rules are
+ * process-global and consulted before the built-ins.
+ */
+void addClassifierKeyword(const std::string &keyword,
+                          hls::ErrorCategory category);
+
+/** Remove every user-registered classifier rule (tests). */
+void clearClassifierKeywords();
+
+/** A localized repair target. */
+struct RepairLocation
+{
+    hls::ErrorCategory category;
+    /** Offending symbol extracted from the diagnostic (may be empty). */
+    std::string symbol;
+    SourceLoc loc;
+};
+
+/** Localize a structured toolchain diagnostic. */
+RepairLocation localize(const hls::HlsError &error);
+
+/**
+ * Localize a free-text message (style-checker output, forum post). The
+ * symbol is extracted from the first 'quoted' token when present.
+ */
+std::optional<RepairLocation>
+localizeMessage(const std::string &message);
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_LOCALIZER_H

@@ -1,0 +1,408 @@
+#include "repair/search.h"
+
+#include "cir/printer.h"
+#include "cir/sema.h"
+#include "hls/compiler.h"
+#include "repair/difftest.h"
+#include "repair/localizer.h"
+#include "repair/transforms.h"
+#include "stylecheck/stylecheck.h"
+#include "support/diagnostics.h"
+
+namespace heterogen::repair {
+
+using cir::TranslationUnit;
+using cir::TuPtr;
+using hls::ErrorCategory;
+
+namespace {
+
+/** Simulated cost of concretizing and applying one AST edit. */
+constexpr double kEditMinutes = 0.02;
+/** Bound on consecutive resize attempts per divergence episode. */
+constexpr int kMaxResizeAttempts = 6;
+/** Bound on kept backtracking snapshots. */
+constexpr size_t kMaxSnapshots = 32;
+
+/** Full candidate state for backtracking. */
+struct Snapshot
+{
+    TuPtr tu;
+    hls::HlsConfig config;
+    std::set<std::string> applied;
+    std::string edit_about_to_apply;
+};
+
+class Search
+{
+  public:
+    Search(const TranslationUnit &original, const std::string &kernel,
+           const TranslationUnit &broken, const hls::HlsConfig &config,
+           const fuzz::TestSuite &suite,
+           const interp::ValueProfile &profile,
+           const SearchOptions &options)
+        : original_(original), kernel_(kernel), suite_(suite),
+          profile_(profile), options_(options), rng_(options.rng_seed)
+    {
+        cand_ = broken.clone();
+        config_ = config;
+    }
+
+    SearchResult
+    run()
+    {
+        while (!dead_end_ &&
+               result_.sim_minutes < options_.budget_minutes &&
+               result_.iterations < options_.max_iterations) {
+            result_.iterations += 1;
+
+            if (options_.use_style_checker && !styleGate())
+                continue;
+
+            hls::HlsToolchain tool(config_);
+            hls::CompileResult compiled = tool.compile(*cand_);
+            result_.sim_minutes += compiled.synth_minutes;
+            result_.full_hls_invocations += 1;
+            note("compile:" +
+                 std::string(compiled.ok ? "ok" : "errors"));
+            if (!compiled.ok) {
+                if (!repairStep(compiled.errors)) {
+                    if (!backtrack())
+                        break; // dead end
+                }
+                continue;
+            }
+
+            DiffTestResult fitness =
+                diffTest(original_, kernel_, *cand_, config_, suite_,
+                         options_.difftest_sample);
+            result_.sim_minutes += fitness.sim_minutes;
+            note("difftest:" + std::to_string(fitness.identical) + "/" +
+                 std::to_string(fitness.total));
+            if (fitness.allIdentical()) {
+                acceptSuccess(fitness);
+                if (!performanceStep())
+                    break; // no further performance edits to try
+                continue;
+            }
+            if (!handleDivergence())
+                break;
+        }
+        finalize();
+        return std::move(result_);
+    }
+
+  private:
+    // --- accounting helpers ------------------------------------------------
+
+    void
+    note(std::string action)
+    {
+        result_.trace.push_back({result_.iterations, std::move(action),
+                                 result_.sim_minutes});
+    }
+
+    // --- style gate -----------------------------------------------------------
+
+    /** Returns true when the candidate passed style checking. */
+    bool
+    styleGate()
+    {
+        style::StyleReport report = style::checkStyle(*cand_);
+        result_.style_checks += 1;
+        result_.sim_minutes += report.check_minutes;
+        if (report.clean())
+            return true;
+        result_.style_rejections += 1;
+        note("style-reject: " + report.issues.front().message);
+        auto loc = localizeMessage(report.issues.front().message);
+        ErrorCategory category =
+            loc ? loc->category : ErrorCategory::DynamicDataStructures;
+        std::string symbol = loc ? loc->symbol : "";
+        if (!tryEdit(category, symbol)) {
+            if (!backtrack())
+                dead_end_ = true;
+        }
+        return false;
+    }
+
+    // --- edit selection ----------------------------------------------------------
+
+    bool
+    allowed(const EditTemplate &t) const
+    {
+        if (!options_.allowed_edits.empty() &&
+            !options_.allowed_edits.count(t.name)) {
+            return false;
+        }
+        if (banned_.count(t.name))
+            return false;
+        // In guided mode, templates that repeatedly failed to match are
+        // set aside so a deterministic front-of-pool no-op cannot stall
+        // the search. The random baseline keeps drawing them — wasted
+        // attempts are exactly what it pays for lacking guidance.
+        if (options_.use_dependence) {
+            auto it = noop_counts_.find(t.name);
+            return it == noop_counts_.end() || it->second < 3;
+        }
+        return true;
+    }
+
+    /** Attempt one edit for the category; true if an attempt was made. */
+    bool
+    tryEdit(ErrorCategory category, const std::string &symbol)
+    {
+        const EditRegistry &registry = EditRegistry::instance();
+        std::vector<const EditTemplate *> pool;
+        if (options_.use_dependence) {
+            for (const EditTemplate *t :
+                 registry.applicable(category, applied_)) {
+                if (allowed(*t))
+                    pool.push_back(t);
+            }
+        } else {
+            // Unguided baseline: any not-yet-applied template from any
+            // category, in random order with random parameters — the
+            // paper's WithoutDependence behaviour.
+            for (const EditTemplate &t : registry.all()) {
+                if (!applied_.count(t.name) && allowed(t))
+                    pool.push_back(&t);
+            }
+        }
+        if (pool.empty())
+            return false;
+        const EditTemplate *chosen =
+            options_.use_dependence ? pool.front()
+                                    : pool[rng_.pickIndex(pool)];
+        return applyEdit(*chosen, symbol);
+    }
+
+    bool
+    applyEdit(const EditTemplate &t, const std::string &symbol)
+    {
+        Snapshot snap;
+        snap.tu = cand_->clone();
+        snap.config = config_;
+        snap.applied = applied_;
+        snap.edit_about_to_apply = t.name;
+
+        RepairContext ctx{*cand_, config_, symbol, &profile_, &rng_,
+                          !options_.use_dependence};
+        bool changed = t.apply(ctx);
+        result_.sim_minutes += kEditMinutes;
+        if (!changed) {
+            noop_counts_[t.name] += 1;
+            note("noop:" + t.name);
+            return true; // an attempt was made (and wasted)
+        }
+        // Re-analyze: transforms introduce fresh nodes that need unique
+        // ids (loop profiling keys on them) and this validates the edit
+        // produced a well-formed program.
+        cir::SemaResult sema = cir::analyze(*cand_);
+        if (!sema.ok()) {
+            cand_ = std::move(snap.tu);
+            config_ = snap.config;
+            banned_.insert(t.name);
+            note("invalid-edit:" + t.name);
+            return true;
+        }
+        note("edit:" + t.name);
+        applied_.insert(t.name);
+        result_.applied_order.push_back(t.name);
+        snapshots_.push_back(std::move(snap));
+        if (snapshots_.size() > kMaxSnapshots)
+            snapshots_.erase(snapshots_.begin());
+        return true;
+    }
+
+    // --- repair / fitness phases ------------------------------------------------------
+
+    bool
+    repairStep(const std::vector<hls::HlsError> &errors)
+    {
+        for (const hls::HlsError &error : errors) {
+            RepairLocation loc = localize(error);
+            if (tryEdit(loc.category, loc.symbol))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    acceptSuccess(const DiffTestResult &fitness)
+    {
+        if (!result_.hls_compatible)
+            result_.minutes_to_success = result_.sim_minutes;
+        result_.hls_compatible = true;
+        result_.behavior_preserved = true;
+        result_.pass_ratio = fitness.passRatio();
+        bool better = !best_ || fitness.fpga_millis < best_fpga_;
+        if (better) {
+            best_ = cand_->clone();
+            best_config_ = config_;
+            best_fpga_ = fitness.fpga_millis;
+            best_cpu_ = fitness.cpu_millis;
+        }
+        last_good_ = cand_->clone();
+        last_good_config_ = config_;
+        last_good_applied_ = applied_;
+        resize_attempts_ = 0;
+    }
+
+    /** Apply performance-improving edits; false when none applied.
+     *
+     * In guided mode every dependence-ready performance template is
+     * applied in one batch (one toolchain invocation validates them
+     * together); the random baseline applies one random pick per
+     * iteration, paying a compile for each guess. */
+    bool
+    performanceStep()
+    {
+        if (result_.sim_minutes >= options_.budget_minutes)
+            return false;
+        const EditRegistry &registry = EditRegistry::instance();
+        if (!options_.use_dependence) {
+            std::vector<const EditTemplate *> pool;
+            for (const EditTemplate &t : registry.all()) {
+                if (t.performance_improving && !applied_.count(t.name) &&
+                    allowed(t)) {
+                    pool.push_back(&t);
+                }
+            }
+            if (pool.empty())
+                return false;
+            return applyEdit(*pool[rng_.pickIndex(pool)], "");
+        }
+        // Guided mode: one ordered pass; dependences resolve as earlier
+        // templates in the pass are applied (pipeline -> unroll ->
+        // partition -> dataflow).
+        bool any = false;
+        for (const EditTemplate &t : registry.all()) {
+            if (!t.performance_improving || applied_.count(t.name) ||
+                !allowed(t)) {
+                continue;
+            }
+            bool deps = true;
+            for (const std::string &dep : t.requires_edits)
+                deps &= applied_.count(dep) > 0;
+            if (!deps)
+                continue;
+            applyEdit(t, "");
+            any |= applied_.count(t.name) > 0;
+        }
+        return any;
+    }
+
+    /** Divergence after an error-free compile: resize, then backtrack. */
+    bool
+    handleDivergence()
+    {
+        if (resize_attempts_ < kMaxResizeAttempts) {
+            RepairContext ctx{*cand_, config_, "", &profile_, &rng_,
+                              !options_.use_dependence};
+            if (xform::resizeGeneratedArrays(ctx)) {
+                cir::analyze(*cand_);
+                resize_attempts_ += 1;
+                result_.sim_minutes += kEditMinutes;
+                note("edit:resize($a1:arr)");
+                if (!applied_.count("resize($a1:arr)")) {
+                    applied_.insert("resize($a1:arr)");
+                    result_.applied_order.push_back("resize($a1:arr)");
+                }
+                return true;
+            }
+        }
+        return backtrack();
+    }
+
+    /** Undo the most recent edit and ban it; false when out of history. */
+    bool
+    backtrack()
+    {
+        if (last_good_ && resize_attempts_ >= kMaxResizeAttempts) {
+            // Return to the last fully-working candidate.
+            cand_ = last_good_->clone();
+            config_ = last_good_config_;
+            applied_ = last_good_applied_;
+            resize_attempts_ = 0;
+            if (!snapshots_.empty()) {
+                banned_.insert(snapshots_.back().edit_about_to_apply);
+                snapshots_.pop_back();
+            }
+            note("revert:last-good");
+            return true;
+        }
+        if (snapshots_.empty())
+            return false;
+        Snapshot snap = std::move(snapshots_.back());
+        snapshots_.pop_back();
+        cand_ = std::move(snap.tu);
+        config_ = snap.config;
+        applied_ = std::move(snap.applied);
+        banned_.insert(snap.edit_about_to_apply);
+        note("revert:" + snap.edit_about_to_apply);
+        return true;
+    }
+
+    void
+    finalize()
+    {
+        if (best_) {
+            result_.program = std::move(best_);
+            result_.config = best_config_;
+            result_.fpga_ms = best_fpga_;
+            result_.orig_cpu_ms = best_cpu_;
+            result_.improved = best_fpga_ < best_cpu_;
+        } else {
+            result_.program = std::move(cand_);
+            result_.config = config_;
+        }
+        result_.diff = diffLines(cir::print(original_),
+                                 cir::print(*result_.program));
+        if (!result_.hls_compatible)
+            result_.minutes_to_success = result_.sim_minutes;
+    }
+
+    const TranslationUnit &original_;
+    const std::string kernel_;
+    const fuzz::TestSuite &suite_;
+    const interp::ValueProfile &profile_;
+    SearchOptions options_;
+    Rng rng_;
+
+    TuPtr cand_;
+    hls::HlsConfig config_;
+    std::set<std::string> applied_;
+    std::set<std::string> banned_;
+    std::map<std::string, int> noop_counts_;
+    std::vector<Snapshot> snapshots_;
+
+    TuPtr best_;
+    hls::HlsConfig best_config_;
+    double best_fpga_ = 0;
+    double best_cpu_ = 0;
+
+    TuPtr last_good_;
+    hls::HlsConfig last_good_config_;
+    std::set<std::string> last_good_applied_;
+    int resize_attempts_ = 0;
+    bool dead_end_ = false;
+
+    SearchResult result_;
+};
+
+} // namespace
+
+SearchResult
+repairSearch(const TranslationUnit &original, const std::string &kernel,
+             const TranslationUnit &broken, const hls::HlsConfig &config,
+             const fuzz::TestSuite &suite,
+             const interp::ValueProfile &profile,
+             const SearchOptions &options)
+{
+    return Search(original, kernel, broken, config, suite, profile,
+                  options)
+        .run();
+}
+
+} // namespace heterogen::repair

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The evolutionary repair search (§5.3).
+ *
+ * Iteratively: style-check the candidate (early rejection), compile with
+ * the full HLS toolchain, localize errors, choose the next edit from the
+ * dependence-ordered template space, and — once error-free — evaluate
+ * fitness by differential testing, continuing with performance edits
+ * until the simulated time budget runs out.
+ *
+ * The two ablation baselines from Figure 9 are option switches:
+ * use_style_checker=false (WithoutChecker) and use_dependence=false
+ * (WithoutDependence).
+ */
+
+#ifndef HETEROGEN_REPAIR_SEARCH_H
+#define HETEROGEN_REPAIR_SEARCH_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/testsuite.h"
+#include "hls/config.h"
+#include "interp/profile.h"
+#include "repair/diffstat.h"
+#include "repair/edit.h"
+
+namespace heterogen::repair {
+
+/** Search configuration. */
+struct SearchOptions
+{
+    /** Early candidate rejection via the LLVM-style checker (§5.3). */
+    bool use_style_checker = true;
+    /** Dependence-ordered edit enumeration vs random order (§5.3). */
+    bool use_dependence = true;
+    /** Simulated wall-clock budget in minutes (paper default: 3h). */
+    double budget_minutes = 180.0;
+    /** Hard iteration cap (backstop against degenerate walks). */
+    int max_iterations = 2000;
+    uint64_t rng_seed = 7;
+    /** Tests evaluated per fitness check (0 = whole suite). */
+    int difftest_sample = 24;
+    /**
+     * When non-empty, only these templates may be applied — the
+     * HeteroRefactor baseline restricts to the dynamic-data-structure
+     * chain this way.
+     */
+    std::set<std::string> allowed_edits;
+};
+
+/** One recorded search step (for traces and ablation analysis). */
+struct SearchStep
+{
+    int iteration = 0;
+    std::string action; ///< edit name, "style-reject", "compile", ...
+    double minutes_after = 0;
+};
+
+/** Search outcome. */
+struct SearchResult
+{
+    /** Best candidate found (never null; equals original on failure). */
+    cir::TuPtr program;
+    hls::HlsConfig config;
+
+    bool hls_compatible = false;
+    bool behavior_preserved = false;
+    double pass_ratio = 0;
+    /** FPGA candidate faster than CPU original? */
+    bool improved = false;
+    double orig_cpu_ms = 0;
+    double fpga_ms = 0;
+
+    /** Simulated wall-clock spent by the whole search. */
+    double sim_minutes = 0;
+    /**
+     * Simulated minutes until the first candidate that fixed every HLS
+     * error and preserved test behaviour (the repair task itself,
+     * excluding the optional performance-exploration tail); equals
+     * sim_minutes when the search never succeeded.
+     */
+    double minutes_to_success = 0;
+    int iterations = 0;
+    int full_hls_invocations = 0;
+    int style_checks = 0;
+    int style_rejections = 0;
+
+    std::vector<std::string> applied_order;
+    DiffStat diff;
+    std::vector<SearchStep> trace;
+
+    /** Fraction of repair attempts that invoked the full toolchain. */
+    double
+    hlsInvocationRatio() const
+    {
+        int attempts = full_hls_invocations + style_rejections;
+        return attempts == 0
+                   ? 0.0
+                   : double(full_hls_invocations) / double(attempts);
+    }
+};
+
+/**
+ * Run the repair search.
+ *
+ * @param original  the input C program (CPU reference for difftesting)
+ * @param kernel    kernel entry-point name in the original
+ * @param broken    the initial HLS candidate (typically the bitwidth-
+ *                  narrowed clone of the original)
+ * @param config    initial toolchain configuration
+ * @param suite     generated tests (fitness oracle)
+ * @param profile   value profile of the original under the suite
+ */
+SearchResult repairSearch(const cir::TranslationUnit &original,
+                          const std::string &kernel,
+                          const cir::TranslationUnit &broken,
+                          const hls::HlsConfig &config,
+                          const fuzz::TestSuite &suite,
+                          const interp::ValueProfile &profile,
+                          const SearchOptions &options = {});
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_SEARCH_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The concrete AST/config transforms behind every edit template.
+ *
+ * Each function returns true when it changed the candidate; false when
+ * its pattern does not match (the dependence graph usually prevents such
+ * wasted attempts — the WithoutDependence baseline hits them constantly).
+ */
+
+#ifndef HETEROGEN_REPAIR_TRANSFORMS_H
+#define HETEROGEN_REPAIR_TRANSFORMS_H
+
+#include "repair/edit.h"
+
+namespace heterogen::repair::xform {
+
+// --- dynamic data structures -------------------------------------------------
+
+/**
+ * Create a static arena (backing array + bump allocator function) for
+ * every struct type allocated with malloc, rewrite malloc calls to the
+ * allocator and drop free calls. Index 0 is the null slot, so existing
+ * `p != 0` null checks keep working after pointer removal.
+ */
+bool insertArena(RepairContext &ctx);
+
+/** Rewrite struct pointers to arena indices: declarations, parameters,
+ * fields, `p->f` accesses and `(T*)` casts. Requires an arena. */
+bool pointerToIndex(RepairContext &ctx);
+
+/**
+ * Convert a self-recursive void function with integer parameters into an
+ * explicit-stack state machine (the paper's Figure 2c). Pushes beyond
+ * stack capacity are dropped — generated tests expose an undersized
+ * stack as behavioural divergence, driving the resize edit.
+ */
+bool stackTransform(RepairContext &ctx);
+
+/** Double every generated arena/stack array and its capacity global. */
+bool resizeGeneratedArrays(RepairContext &ctx);
+
+/** Give compile-time sizes to VLAs and unsized top arrays. */
+bool arrayStatic(RepairContext &ctx);
+
+// --- unsupported data types ----------------------------------------------------
+
+/** Replace long double with fpga_float<8,71> throughout. */
+bool typeTransform(RepairContext &ctx);
+
+/** Insert explicit casts where fpga_float mixes with other types. */
+bool typeCasting(RepairContext &ctx);
+
+/** Replace fpga_float arithmetic with generated overload helpers
+ * (the paper's sum_80). Requires casts to be in place. */
+bool opOverload(RepairContext &ctx);
+
+/** Narrow declared integer types to profiled bit widths. */
+bool bitwidthNarrow(RepairContext &ctx);
+
+// --- dataflow optimization -------------------------------------------------------
+
+/** Adjust an array_partition factor to divide the array size. */
+bool fixPartitionFactor(RepairContext &ctx);
+
+/** Give the second consumer of a dataflow-shared array its own copy. */
+bool duplicateBuffer(RepairContext &ctx);
+
+/** Remove the dataflow pragma (conservative fallback). */
+bool deleteDataflow(RepairContext &ctx);
+
+/** Move a misplaced dataflow pragma to the top of its function body. */
+bool moveDataflowTop(RepairContext &ctx);
+
+// --- loop parallelization -----------------------------------------------------------
+
+/** Halve oversized unroll factors that break pre-synthesis. */
+bool reduceUnroll(RepairContext &ctx);
+
+/** Add loop_tripcount to variable-trip-count loops under unroll. */
+bool insertTripcount(RepairContext &ctx);
+
+/** Performance: pipeline the innermost loops (II=1). */
+bool insertPipeline(RepairContext &ctx);
+
+/** Performance: unroll static-trip-count loops by a dividing factor. */
+bool insertUnroll(RepairContext &ctx);
+
+/** Performance: partition arrays to feed unrolled loops. */
+bool insertArrayPartition(RepairContext &ctx);
+
+/** Performance: overlap independent top-level loops with dataflow. */
+bool insertDataflow(RepairContext &ctx);
+
+// --- struct and union ------------------------------------------------------------------
+
+/** Insert an explicit constructor initializing every field. */
+bool insertConstructor(RepairContext &ctx);
+
+/** Lift struct methods into standalone free functions. */
+bool flattenStruct(RepairContext &ctx);
+
+/** Rewrite S{...}.m(...) call sites to the flattened functions. */
+bool updateInstances(RepairContext &ctx);
+
+/** Make the stream connecting struct instances static. */
+bool streamStatic(RepairContext &ctx);
+
+/** Convert a union into a struct (fields coexist). */
+bool unionToStruct(RepairContext &ctx);
+
+// --- top function ----------------------------------------------------------------------------
+
+/** Point the configuration at an existing kernel entry function. */
+bool fixTopFunction(RepairContext &ctx);
+
+/** Clamp the configured clock into the synthesizable range. */
+bool fixClock(RepairContext &ctx);
+
+/** Fall back to the default known device. */
+bool fixDevice(RepairContext &ctx);
+
+/** Delete interface pragmas that name non-existent ports. */
+bool fixInterfacePragma(RepairContext &ctx);
+
+} // namespace heterogen::repair::xform
+
+#endif // HETEROGEN_REPAIR_TRANSFORMS_H

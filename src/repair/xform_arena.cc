@@ -1,0 +1,370 @@
+/** @file Dynamic-data-structure transforms: arena, pointer removal,
+ * generated-array resizing, VLA staticization. */
+
+#include <set>
+
+#include "cir/walk.h"
+#include "repair/ast_build.h"
+#include "repair/transforms.h"
+#include "support/strings.h"
+
+namespace heterogen::repair::xform {
+
+using namespace cir;
+using namespace build;
+
+namespace {
+
+constexpr long kDefaultArenaCap = 1024;
+constexpr long kDefaultStaticArray = 1024;
+
+/** Struct types allocated via malloc(sizeof(T)) anywhere in the TU. */
+std::set<std::string>
+mallocedStructs(const TranslationUnit &tu)
+{
+    std::set<std::string> names;
+    forEachExpr(tu, [&](const Expr &e) {
+        if (e.kind() != ExprKind::Call)
+            return;
+        const auto &c = static_cast<const Call &>(e);
+        if (c.callee != "malloc" || c.args.empty())
+            return;
+        forEachExpr(*c.args[0], [&](const Expr &inner) {
+            if (inner.kind() == ExprKind::SizeofType) {
+                const auto &so = static_cast<const SizeofType &>(inner);
+                if (so.type->isStruct())
+                    names.insert(so.type->structName());
+            }
+        });
+    });
+    return names;
+}
+
+/** The generated allocator function body for one arena. */
+FunctionPtr
+makeAllocator(const std::string &struct_name)
+{
+    // int T_malloc(int n) {
+    //     int idx = 0;
+    //     if (T_arr_top + n <= T_arr_cap) {
+    //         idx = T_arr_top;
+    //         T_arr_top = T_arr_top + n;
+    //     }
+    //     return idx;
+    // }
+    const std::string arr_top = struct_name + "_arr_top";
+    const std::string arr_cap = struct_name + "_arr_cap";
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->ret_type = Type::intType();
+    fn->name = struct_name + "_malloc";
+    fn->params.push_back({Type::intType(), "n", false});
+    fn->body = block();
+    fn->body->stmts.push_back(declStmt(Type::intType(), "idx", intLit(0)));
+    auto then_block = block();
+    then_block->stmts.push_back(assignStmt(ident("idx"), ident(arr_top)));
+    then_block->stmts.push_back(assignStmt(
+        ident(arr_top),
+        binary(BinaryOp::Add, ident(arr_top), ident("n"))));
+    fn->body->stmts.push_back(std::make_unique<IfStmt>(
+        binary(BinaryOp::Le,
+               binary(BinaryOp::Add, ident(arr_top), ident("n")),
+               ident(arr_cap)),
+        std::move(then_block)));
+    fn->body->stmts.push_back(
+        std::make_unique<ReturnStmt>(ident("idx")));
+    return fn;
+}
+
+/** Does a global named `name` exist? */
+bool
+hasGlobal(TranslationUnit &tu, const std::string &name)
+{
+    return tu.findGlobal(name) != nullptr;
+}
+
+} // namespace
+
+bool
+insertArena(RepairContext &ctx)
+{
+    TranslationUnit &tu = ctx.tu;
+    std::set<std::string> structs = mallocedStructs(tu);
+    if (structs.empty())
+        return false;
+    bool changed = false;
+    // Guided mode sizes arenas at the profiled default; the unguided
+    // baseline guesses a capacity, and undersized guesses surface as
+    // behavioural divergence that costs full compile/resize cycles.
+    long cap = kDefaultArenaCap;
+    if (ctx.explore_randomly && ctx.rng)
+        cap = 1L << ctx.rng->range(5, 11);
+    for (const std::string &s : structs) {
+        const std::string arr = s + "_arr";
+        if (hasGlobal(tu, arr))
+            continue;
+        // Globals: T T_arr[CAP]; int T_arr_top = 1; int T_arr_cap = CAP;
+        tu.globals.push_back(
+            declStmt(Type::array(Type::structType(s), cap), arr));
+        tu.globals.push_back(
+            declStmt(Type::intType(), s + "_arr_top", intLit(1)));
+        tu.globals.push_back(
+            declStmt(Type::intType(), s + "_arr_cap", intLit(cap)));
+        tu.functions.insert(tu.functions.begin(), makeAllocator(s));
+        changed = true;
+    }
+    if (!changed)
+        return false;
+    // Rewrite malloc calls: (T*)malloc(sizeof(T)) -> T_malloc(1);
+    // malloc(n * sizeof(T)) -> T_malloc(n). free(x) -> 0.
+    rewriteExprs(tu, [&](Expr &e) -> ExprPtr {
+        if (e.kind() == ExprKind::Cast) {
+            auto &cast = static_cast<Cast &>(e);
+            if (cast.type->isPointer() &&
+                cast.type->element()->isStruct() &&
+                cast.operand->kind() == ExprKind::Call) {
+                auto &call = static_cast<Call &>(*cast.operand);
+                if (call.callee == "malloc")
+                    return std::move(cast.operand);
+            }
+            return nullptr;
+        }
+        if (e.kind() != ExprKind::Call)
+            return nullptr;
+        auto &call = static_cast<Call &>(e);
+        if (call.callee == "free")
+            return intLit(0);
+        if (call.callee != "malloc" || call.args.size() != 1)
+            return nullptr;
+        Expr &arg = *call.args[0];
+        std::string struct_name;
+        ExprPtr count = intLit(1);
+        if (arg.kind() == ExprKind::SizeofType) {
+            const auto &so = static_cast<const SizeofType &>(arg);
+            if (so.type->isStruct())
+                struct_name = so.type->structName();
+        } else if (arg.kind() == ExprKind::Binary) {
+            auto &bin = static_cast<Binary &>(arg);
+            if (bin.op == BinaryOp::Mul) {
+                Expr *so_side = nullptr;
+                ExprPtr *count_side = nullptr;
+                if (bin.lhs->kind() == ExprKind::SizeofType) {
+                    so_side = bin.lhs.get();
+                    count_side = &bin.rhs;
+                } else if (bin.rhs->kind() == ExprKind::SizeofType) {
+                    so_side = bin.rhs.get();
+                    count_side = &bin.lhs;
+                }
+                if (so_side) {
+                    const auto &so =
+                        static_cast<const SizeofType &>(*so_side);
+                    if (so.type->isStruct()) {
+                        struct_name = so.type->structName();
+                        count = std::move(*count_side);
+                    }
+                }
+            }
+        }
+        if (struct_name.empty() || !structs.count(struct_name))
+            return nullptr;
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(count));
+        return std::make_unique<Call>(struct_name + "_malloc",
+                                      std::move(args));
+    });
+    return true;
+}
+
+bool
+pointerToIndex(RepairContext &ctx)
+{
+    TranslationUnit &tu = ctx.tu;
+    // Applicable only for structs with an arena in place.
+    std::set<std::string> arenas;
+    for (const auto &sd : tu.structs) {
+        if (hasGlobal(tu, sd->name + "_arr"))
+            arenas.insert(sd->name);
+    }
+    if (arenas.empty())
+        return false;
+
+    bool changed = false;
+    auto is_arena_ptr = [&](const TypePtr &t) {
+        return t && t->isPointer() && t->element()->isStruct() &&
+               arenas.count(t->element()->structName()) > 0;
+    };
+
+    // Field names -> owning struct, for rewriting `p->field`.
+    std::map<std::string, std::string> field_owner;
+    for (const auto &sd : tu.structs) {
+        if (!arenas.count(sd->name))
+            continue;
+        for (const auto &f : sd->fields)
+            field_owner[f.name] = sd->name;
+    }
+
+    // Variables whose type flips T* -> int, so `p[i]` subscripts can be
+    // redirected into the arena (name -> struct).
+    std::map<std::string, std::string> converted_vars;
+    auto note_converted = [&](const std::string &name, const TypePtr &t) {
+        converted_vars[name] = t->element()->structName();
+    };
+
+    // 1. Declarations and parameters: T* -> int.
+    forEachStmt(tu, [&](Stmt &s) {
+        if (s.kind() != StmtKind::Decl)
+            return;
+        auto &d = static_cast<DeclStmt &>(s);
+        if (is_arena_ptr(d.type)) {
+            note_converted(d.name, d.type);
+            d.type = Type::intType();
+            changed = true;
+        }
+    });
+    auto fix_fn = [&](FunctionDecl &fn) {
+        for (auto &p : fn.params) {
+            if (is_arena_ptr(p.type)) {
+                note_converted(p.name, p.type);
+                p.type = Type::intType();
+                changed = true;
+            }
+        }
+        if (is_arena_ptr(fn.ret_type)) {
+            fn.ret_type = Type::intType();
+            changed = true;
+        }
+    };
+    for (auto &fn : tu.functions)
+        fix_fn(*fn);
+    for (auto &sd : tu.structs) {
+        for (auto &f : sd->fields) {
+            if (is_arena_ptr(f.type)) {
+                f.type = Type::intType();
+                changed = true;
+            }
+        }
+        for (auto &m : sd->methods)
+            fix_fn(*m);
+    }
+
+    // 2. Expressions: p->f -> T_arr[p].f ; p[i] -> T_arr[p + i] ;
+    //    (T*)x -> x.
+    rewriteExprs(tu, [&](Expr &e) -> ExprPtr {
+        if (e.kind() == ExprKind::Member) {
+            auto &m = static_cast<Member &>(e);
+            if (!m.is_arrow)
+                return nullptr;
+            auto owner = field_owner.find(m.field);
+            if (owner == field_owner.end())
+                return nullptr;
+            changed = true;
+            ExprPtr cell = index(ident(owner->second + "_arr"),
+                                 std::move(m.base));
+            return std::make_unique<Member>(std::move(cell), m.field,
+                                            false);
+        }
+        if (e.kind() == ExprKind::Index) {
+            auto &idx_expr = static_cast<Index &>(e);
+            if (idx_expr.base->kind() != ExprKind::Ident)
+                return nullptr;
+            const std::string &name =
+                static_cast<const Ident &>(*idx_expr.base).name;
+            auto hit = converted_vars.find(name);
+            if (hit == converted_vars.end())
+                return nullptr;
+            changed = true;
+            return index(ident(hit->second + "_arr"),
+                         binary(BinaryOp::Add, std::move(idx_expr.base),
+                                std::move(idx_expr.index)));
+        }
+        if (e.kind() == ExprKind::Cast) {
+            auto &c = static_cast<Cast &>(e);
+            if (is_arena_ptr(c.type)) {
+                changed = true;
+                return std::move(c.operand);
+            }
+        }
+        return nullptr;
+    });
+    return changed;
+}
+
+bool
+resizeGeneratedArrays(RepairContext &ctx)
+{
+    TranslationUnit &tu = ctx.tu;
+    bool changed = false;
+    for (auto &g : tu.globals) {
+        if (g->kind() != StmtKind::Decl)
+            continue;
+        auto &d = static_cast<DeclStmt &>(*g);
+        bool generated = endsWith(d.name, "_arr") ||
+                         contains(d.name, "_stk_");
+        if (generated && d.type->isArray() &&
+            d.type->arraySize() != kUnknownArraySize) {
+            d.type = Type::array(d.type->element(),
+                                 d.type->arraySize() * 2);
+            changed = true;
+        }
+        bool cap = endsWith(d.name, "_cap");
+        if (cap && d.init && d.init->kind() == ExprKind::IntLit) {
+            auto &lit = static_cast<IntLit &>(*d.init);
+            lit.value *= 2;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+bool
+arrayStatic(RepairContext &ctx)
+{
+    TranslationUnit &tu = ctx.tu;
+    bool changed = false;
+
+    // VLA locals/globals: use the profiled max of the size expression
+    // when it is a plain variable, else a conservative default.
+    forEachStmt(tu, [&](Stmt &s) {
+        if (s.kind() != StmtKind::Decl)
+            return;
+        auto &d = static_cast<DeclStmt &>(s);
+        if (!d.type->isArray() ||
+            d.type->arraySize() != kUnknownArraySize) {
+            return;
+        }
+        long size = kDefaultStaticArray;
+        if (ctx.explore_randomly && ctx.rng) {
+            size = 1L << ctx.rng->range(6, 11); // 64..2048, may be short
+        } else if (d.vla_size && d.vla_size->kind() == ExprKind::Ident &&
+            ctx.profile) {
+            const std::string &var =
+                static_cast<const Ident &>(*d.vla_size).name;
+            // Search any function scope for the profiled variable.
+            for (const auto &[key, range] : ctx.profile->ranges()) {
+                if (endsWith(key, "::" + var) && range.saw_int) {
+                    size = std::max(2L, range.max_int);
+                    break;
+                }
+            }
+        }
+        d.type = Type::array(d.type->element(), size);
+        d.vla_size = nullptr;
+        changed = true;
+    });
+
+    // Unsized array parameters (typically the top function's interface).
+    auto fix_params = [&](FunctionDecl &fn) {
+        for (auto &p : fn.params) {
+            if (p.type->isArray() &&
+                p.type->arraySize() == kUnknownArraySize) {
+                p.type = Type::array(p.type->element(),
+                                     kDefaultStaticArray);
+                changed = true;
+            }
+        }
+    };
+    for (auto &fn : tu.functions)
+        fix_params(*fn);
+    return changed;
+}
+
+} // namespace heterogen::repair::xform

@@ -1,0 +1,89 @@
+/** @file Top-function configuration repairs. */
+
+#include "cir/walk.h"
+#include "repair/transforms.h"
+#include "support/strings.h"
+
+namespace heterogen::repair::xform {
+
+using namespace cir;
+
+bool
+fixTopFunction(RepairContext &ctx)
+{
+    if (ctx.tu.findFunction(ctx.config.top_function))
+        return false; // already valid
+    // Preference order: exact "kernel"/"top", then names containing
+    // either word, then the first function defined.
+    const FunctionDecl *best = nullptr;
+    for (const auto &fn : ctx.tu.functions) {
+        if (fn->name == "kernel" || fn->name == "top") {
+            best = fn.get();
+            break;
+        }
+        if (!best && (contains(toLower(fn->name), "kernel") ||
+                      contains(toLower(fn->name), "top"))) {
+            best = fn.get();
+        }
+    }
+    if (!best && !ctx.tu.functions.empty())
+        best = ctx.tu.functions.front().get();
+    if (!best)
+        return false;
+    ctx.config.top_function = best->name;
+    return true;
+}
+
+bool
+fixClock(RepairContext &ctx)
+{
+    if (ctx.config.clock_mhz >= 50.0 && ctx.config.clock_mhz <= 500.0)
+        return false;
+    ctx.config.clock_mhz = 250.0;
+    return true;
+}
+
+bool
+fixDevice(RepairContext &ctx)
+{
+    if (hls::findDevice(ctx.config.device))
+        return false;
+    ctx.config.device = hls::knownDevices().front().name;
+    return true;
+}
+
+bool
+fixInterfacePragma(RepairContext &ctx)
+{
+    bool changed = false;
+    for (auto &fn : ctx.tu.functions) {
+        if (!fn->body)
+            continue;
+        auto &stmts = fn->body->stmts;
+        for (size_t i = 0; i < stmts.size();) {
+            bool erase = false;
+            if (stmts[i]->kind() == StmtKind::Pragma) {
+                const auto &p =
+                    static_cast<const PragmaStmt &>(*stmts[i]);
+                if (p.info.kind == PragmaKind::Interface) {
+                    const std::string port = p.info.paramStr("port");
+                    if (!port.empty()) {
+                        bool found = false;
+                        for (const Param &param : fn->params)
+                            found |= param.name == port;
+                        erase = !found;
+                    }
+                }
+            }
+            if (erase) {
+                stmts.erase(stmts.begin() + i);
+                changed = true;
+            } else {
+                ++i;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace heterogen::repair::xform

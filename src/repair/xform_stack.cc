@@ -1,0 +1,379 @@
+/** @file Recursion-to-iteration conversion with an explicit stack.
+ *
+ * Models the paper's Figure 2c: the recursive function becomes a state
+ * machine driven by a worklist of frames stored in static arrays. Each
+ * frame holds the parameters, the top-level integer locals and a resume
+ * state; recursive call sites split the body into segments.
+ */
+
+#include <functional>
+
+#include "cir/walk.h"
+#include "repair/ast_build.h"
+#include "repair/transforms.h"
+#include "hls/synth_check.h"
+
+namespace heterogen::repair::xform {
+
+using namespace cir;
+using namespace build;
+
+namespace {
+
+constexpr long kDefaultStackCap = 1024;
+
+/** True for scalar integer-family types a frame can hold. */
+bool
+frameScalar(const TypePtr &t)
+{
+    return t && t->isInteger();
+}
+
+/** Is this statement a plain recursive call `f(...)`? */
+const Call *
+asRecursiveCall(const Stmt &s, const std::string &fn)
+{
+    if (s.kind() != StmtKind::ExprStmt)
+        return nullptr;
+    const auto &es = static_cast<const ExprStmt &>(s);
+    if (es.expr->kind() != ExprKind::Call)
+        return nullptr;
+    const auto &c = static_cast<const Call &>(*es.expr);
+    return c.callee == fn ? &c : nullptr;
+}
+
+/** Does this subtree contain a call to fn anywhere? */
+bool
+containsCallTo(const Stmt &s, const std::string &fn)
+{
+    bool found = false;
+    forEachExpr(s, [&](const Expr &e) {
+        if (e.kind() == ExprKind::Call &&
+            static_cast<const Call &>(e).callee == fn) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+/** Recursively rewrite statement slots (decl->assign, return->continue). */
+void
+mapStmtSlots(Block &block, const std::function<StmtPtr(StmtPtr &)> &fn)
+{
+    for (auto &slot : block.stmts) {
+        switch (slot->kind()) {
+          case StmtKind::Block:
+            mapStmtSlots(static_cast<Block &>(*slot), fn);
+            break;
+          case StmtKind::If: {
+            auto &s = static_cast<IfStmt &>(*slot);
+            mapStmtSlots(*s.then_block, fn);
+            if (s.else_block)
+                mapStmtSlots(*s.else_block, fn);
+            break;
+          }
+          case StmtKind::While:
+            mapStmtSlots(*static_cast<WhileStmt &>(*slot).body, fn);
+            break;
+          case StmtKind::For:
+            mapStmtSlots(*static_cast<ForStmt &>(*slot).body, fn);
+            break;
+          default:
+            break;
+        }
+        if (StmtPtr replacement = fn(slot))
+            slot = std::move(replacement);
+    }
+}
+
+/** One frame variable (parameter or hoisted local). */
+struct FrameVar
+{
+    std::string name;
+    TypePtr type;
+    bool is_param = false;
+};
+
+} // namespace
+
+namespace {
+
+bool tryStackTransform(TranslationUnit &tu, FunctionDecl &fn);
+
+} // namespace
+
+bool
+stackTransform(RepairContext &ctx)
+{
+    TranslationUnit &tu = ctx.tu;
+
+    // Candidates: every self-recursive function, localized symbol first.
+    std::vector<std::string> recursive = hls::recursiveFunctions(tu);
+    std::vector<FunctionDecl *> candidates;
+    for (const std::string &name : recursive) {
+        if (FunctionDecl *fn = tu.findFunction(name)) {
+            if (name == ctx.symbol)
+                candidates.insert(candidates.begin(), fn);
+            else
+                candidates.push_back(fn);
+        }
+    }
+    for (FunctionDecl *fn : candidates) {
+        if (tryStackTransform(tu, *fn))
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+bool
+tryStackTransform(TranslationUnit &tu, FunctionDecl &fn)
+{
+    if (!fn.body)
+        return false;
+    if (!fn.ret_type->isVoid())
+        return false; // only void self-recursion is supported
+    for (const Param &p : fn.params) {
+        if (!frameScalar(p.type))
+            return false;
+    }
+
+    // Locate the statement list holding the recursive calls: either the
+    // body itself or the then-block of one top-level if.
+    std::vector<StmtPtr> *worklist = nullptr;
+    std::vector<StmtPtr> prefix_owned;
+    ExprPtr guard;
+    {
+        bool calls_at_top = false;
+        for (const auto &s : fn.body->stmts) {
+            if (asRecursiveCall(*s, fn.name))
+                calls_at_top = true;
+        }
+        if (calls_at_top) {
+            worklist = &fn.body->stmts;
+        } else {
+            for (auto &s : fn.body->stmts) {
+                if (s->kind() != StmtKind::If)
+                    continue;
+                auto &iff = static_cast<IfStmt &>(*s);
+                bool inside = false;
+                for (const auto &inner : iff.then_block->stmts) {
+                    if (asRecursiveCall(*inner, fn.name))
+                        inside = true;
+                }
+                if (inside) {
+                    if (iff.else_block)
+                        return false;
+                    guard = iff.cond->clone();
+                    worklist = &iff.then_block->stmts;
+                    // Everything before the if is the prefix.
+                    for (auto &other : fn.body->stmts) {
+                        if (other.get() == s.get())
+                            break;
+                        prefix_owned.push_back(other->clone());
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    if (!worklist)
+        return false;
+    // Reject recursive calls nested deeper than the worklist.
+    for (const auto &s : *worklist) {
+        if (!asRecursiveCall(*s, fn.name) && containsCallTo(*s, fn.name))
+            return false;
+    }
+    for (const auto &s : prefix_owned) {
+        if (containsCallTo(*s, fn.name))
+            return false;
+    }
+
+    // Frame variables: parameters plus top-level integer locals of the
+    // prefix and worklist.
+    std::vector<FrameVar> frame;
+    for (const Param &p : fn.params)
+        frame.push_back({p.name, p.type, true});
+    auto note_local = [&frame](const StmtPtr &s) {
+        if (s->kind() != StmtKind::Decl)
+            return true;
+        const auto &d = static_cast<const DeclStmt &>(*s);
+        if (!frameScalar(d.type))
+            return false;
+        frame.push_back({d.name, d.type, false});
+        return true;
+    };
+    for (const auto &s : prefix_owned) {
+        if (!note_local(s))
+            return false;
+    }
+    for (const auto &s : *worklist) {
+        if (!note_local(s))
+            return false;
+    }
+
+    // Split the worklist into segments at recursive-call statements.
+    std::vector<std::vector<StmtPtr>> segments(1);
+    std::vector<std::vector<ExprPtr>> call_args;
+    for (auto &s : *worklist) {
+        if (const Call *call = asRecursiveCall(*s, fn.name)) {
+            if (call->args.size() != fn.params.size())
+                return false;
+            std::vector<ExprPtr> args;
+            for (const auto &a : call->args)
+                args.push_back(a->clone());
+            call_args.push_back(std::move(args));
+            segments.emplace_back();
+        } else {
+            segments.back().push_back(s->clone());
+        }
+    }
+
+    // --- generate the stack storage ------------------------------------
+    const std::string sp = fn.name + "_sp";
+    const std::string cap = fn.name + "_stk_cap";
+    const std::string state_arr = fn.name + "_stk_state";
+    auto slot_name = [&fn](const std::string &var) {
+        return fn.name + "_stk_" + var;
+    };
+    for (const FrameVar &v : frame) {
+        tu.globals.push_back(declStmt(
+            Type::array(Type::intType(), kDefaultStackCap),
+            slot_name(v.name)));
+    }
+    tu.globals.push_back(declStmt(
+        Type::array(Type::intType(), kDefaultStackCap), state_arr));
+    tu.globals.push_back(declStmt(Type::intType(), sp, intLit(0)));
+    tu.globals.push_back(
+        declStmt(Type::intType(), cap, intLit(kDefaultStackCap)));
+
+    // --- build the new body ----------------------------------------------
+    auto new_body = block();
+    new_body->stmts.push_back(assignStmt(ident(sp), intLit(0)));
+    for (const FrameVar &v : frame) {
+        new_body->stmts.push_back(assignStmt(
+            index(ident(slot_name(v.name)), ident(sp)),
+            v.is_param ? ident(v.name) : intLit(0)));
+    }
+    new_body->stmts.push_back(
+        assignStmt(index(ident(state_arr), ident(sp)), intLit(0)));
+    new_body->stmts.push_back(assignStmt(
+        ident(sp), binary(BinaryOp::Add, ident(sp), intLit(1))));
+
+    auto loop_body = block();
+    loop_body->stmts.push_back(assignStmt(
+        ident(sp), binary(BinaryOp::Sub, ident(sp), intLit(1))));
+    for (const FrameVar &v : frame) {
+        ExprPtr load = index(ident(slot_name(v.name)), ident(sp));
+        if (v.is_param) {
+            loop_body->stmts.push_back(
+                assignStmt(ident(v.name), std::move(load)));
+        } else {
+            loop_body->stmts.push_back(
+                declStmt(v.type, v.name, std::move(load)));
+        }
+    }
+    const std::string state_var = fn.name + "_state";
+    loop_body->stmts.push_back(declStmt(
+        Type::intType(), state_var,
+        index(ident(state_arr), ident(sp))));
+
+    // Rewrites applied to copied statements inside segments.
+    auto sanitize = [&](Block &seg_block) {
+        mapStmtSlots(seg_block, [&](StmtPtr &slot) -> StmtPtr {
+            if (slot->kind() == StmtKind::Return)
+                return std::make_unique<ContinueStmt>();
+            if (slot->kind() == StmtKind::Decl) {
+                auto &d = static_cast<DeclStmt &>(*slot);
+                for (const FrameVar &v : frame) {
+                    if (!v.is_param && v.name == d.name && d.init) {
+                        return assignStmt(ident(d.name),
+                                          std::move(d.init));
+                    }
+                }
+            }
+            return nullptr;
+        });
+    };
+
+    /** Frame-push statements for entering segment `next_state` plus the
+     * callee frame for call index `call_idx`. */
+    auto make_pushes = [&](int call_idx, int next_state) {
+        auto guarded = block();
+        // Parent resume frame.
+        for (const FrameVar &v : frame) {
+            guarded->stmts.push_back(assignStmt(
+                index(ident(slot_name(v.name)), ident(sp)),
+                ident(v.name)));
+        }
+        guarded->stmts.push_back(assignStmt(
+            index(ident(state_arr), ident(sp)), intLit(next_state)));
+        guarded->stmts.push_back(assignStmt(
+            ident(sp), binary(BinaryOp::Add, ident(sp), intLit(1))));
+        // Callee frame: parameters from the call's argument expressions,
+        // locals zeroed, state 0.
+        size_t param_idx = 0;
+        for (const FrameVar &v : frame) {
+            ExprPtr value;
+            if (v.is_param) {
+                value = call_args[call_idx][param_idx]->clone();
+                ++param_idx;
+            } else {
+                value = intLit(0);
+            }
+            guarded->stmts.push_back(assignStmt(
+                index(ident(slot_name(v.name)), ident(sp)),
+                std::move(value)));
+        }
+        guarded->stmts.push_back(
+            assignStmt(index(ident(state_arr), ident(sp)), intLit(0)));
+        guarded->stmts.push_back(assignStmt(
+            ident(sp), binary(BinaryOp::Add, ident(sp), intLit(1))));
+        // Drop the push pair entirely when the stack is full: the
+        // behavioural divergence this causes is exactly what generated
+        // tests catch, prompting the resize edit.
+        auto iff = std::make_unique<IfStmt>(
+            binary(BinaryOp::Le,
+                   binary(BinaryOp::Add, ident(sp), intLit(2)),
+                   ident(cap)),
+            std::move(guarded));
+        return iff;
+    };
+
+    for (size_t seg = 0; seg < segments.size(); ++seg) {
+        auto seg_block = block();
+        if (seg == 0) {
+            for (auto &s : prefix_owned)
+                seg_block->stmts.push_back(std::move(s));
+            if (guard) {
+                auto bail = block();
+                bail->stmts.push_back(std::make_unique<ContinueStmt>());
+                seg_block->stmts.push_back(std::make_unique<IfStmt>(
+                    std::make_unique<Unary>(UnaryOp::Not,
+                                            guard->clone()),
+                    std::move(bail)));
+            }
+        }
+        for (auto &s : segments[seg])
+            seg_block->stmts.push_back(std::move(s));
+        sanitize(*seg_block);
+        if (seg < call_args.size())
+            seg_block->stmts.push_back(
+                make_pushes(int(seg), int(seg) + 1));
+        seg_block->stmts.push_back(std::make_unique<ContinueStmt>());
+        loop_body->stmts.push_back(std::make_unique<IfStmt>(
+            binary(BinaryOp::Eq, ident(state_var), intLit(long(seg))),
+            std::move(seg_block)));
+    }
+
+    new_body->stmts.push_back(std::make_unique<WhileStmt>(
+        binary(BinaryOp::Gt, ident(sp), intLit(0)),
+        std::move(loop_body)));
+    fn.body = std::move(new_body);
+    return true;
+}
+
+} // namespace
+
+} // namespace heterogen::repair::xform

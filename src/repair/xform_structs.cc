@@ -1,0 +1,179 @@
+/** @file Struct-and-union transforms: constructor insertion, flattening,
+ * instance updates, static connecting streams, union conversion. */
+
+#include "cir/walk.h"
+#include "repair/ast_build.h"
+#include "repair/transforms.h"
+
+namespace heterogen::repair::xform {
+
+using namespace cir;
+using namespace build;
+
+namespace {
+
+/** The struct the edit should target: the symbol when it names one, else
+ * the first struct satisfying `pred`. */
+template <typename Pred>
+StructDecl *
+targetStruct(TranslationUnit &tu, const std::string &symbol, Pred pred)
+{
+    if (!symbol.empty()) {
+        if (StructDecl *sd = tu.findStruct(symbol)) {
+            if (pred(*sd))
+                return sd;
+        }
+    }
+    for (auto &sd : tu.structs) {
+        if (pred(*sd))
+            return sd.get();
+    }
+    return nullptr;
+}
+
+std::string
+flattenedName(const std::string &struct_name, const std::string &method)
+{
+    return struct_name + "_" + method;
+}
+
+} // namespace
+
+bool
+insertConstructor(RepairContext &ctx)
+{
+    StructDecl *sd = targetStruct(
+        ctx.tu, ctx.symbol,
+        [](const StructDecl &s) { return !s.ctor && !s.fields.empty(); });
+    if (!sd)
+        return false;
+    auto ctor = std::make_unique<Ctor>();
+    for (const Field &f : sd->fields) {
+        Param p;
+        p.type = f.type;
+        p.name = f.name + "_i";
+        p.is_reference = f.is_reference || f.type->isStream();
+        ctor->params.push_back(std::move(p));
+        ctor->inits.emplace_back(f.name, f.name + "_i");
+    }
+    sd->ctor = std::move(ctor);
+    return true;
+}
+
+bool
+flattenStruct(RepairContext &ctx)
+{
+    StructDecl *sd = targetStruct(ctx.tu, ctx.symbol,
+                                  [](const StructDecl &s) {
+                                      return !s.methods.empty();
+                                  });
+    if (!sd)
+        return false;
+    bool changed = false;
+    for (const auto &m : sd->methods) {
+        std::string name = flattenedName(sd->name, m->name);
+        if (ctx.tu.findFunction(name))
+            continue;
+        auto fn = std::make_unique<FunctionDecl>();
+        fn->ret_type = m->ret_type;
+        fn->name = name;
+        for (const Field &f : sd->fields) {
+            Param p;
+            p.type = f.type;
+            p.name = f.name;
+            p.is_reference = f.is_reference || f.type->isStream() ||
+                             f.type->isArray();
+            fn->params.push_back(std::move(p));
+        }
+        for (const Param &p : m->params)
+            fn->params.push_back(p);
+        fn->body = m->body
+                       ? BlockPtr(static_cast<Block *>(
+                             m->body->clone().release()))
+                       : block();
+        ctx.tu.functions.push_back(std::move(fn));
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+updateInstances(RepairContext &ctx)
+{
+    TranslationUnit &tu = ctx.tu;
+    bool changed = false;
+    std::set<std::string> flattened;
+    for (const auto &sd : tu.structs) {
+        bool all = !sd->methods.empty();
+        for (const auto &m : sd->methods) {
+            if (!tu.findFunction(flattenedName(sd->name, m->name)))
+                all = false;
+        }
+        if (all)
+            flattened.insert(sd->name);
+    }
+    if (flattened.empty())
+        return false;
+
+    // S{args...}.m(margs...)  ->  S_m(args..., margs...)
+    rewriteExprs(tu, [&](Expr &e) -> ExprPtr {
+        if (e.kind() != ExprKind::MethodCall)
+            return nullptr;
+        auto &mc = static_cast<MethodCall &>(e);
+        if (mc.base->kind() != ExprKind::StructLit)
+            return nullptr;
+        auto &lit = static_cast<StructLit &>(*mc.base);
+        if (!flattened.count(lit.struct_name))
+            return nullptr;
+        std::vector<ExprPtr> args;
+        for (auto &a : lit.args)
+            args.push_back(std::move(a));
+        for (auto &a : mc.args)
+            args.push_back(std::move(a));
+        changed = true;
+        return std::make_unique<Call>(
+            flattenedName(lit.struct_name, mc.method), std::move(args));
+    });
+    if (!changed)
+        return false;
+
+    // Remove the now-unused methods so the struct is plain data.
+    for (auto &sd : tu.structs) {
+        if (flattened.count(sd->name))
+            sd->methods.clear();
+    }
+    return true;
+}
+
+bool
+streamStatic(RepairContext &ctx)
+{
+    bool changed = false;
+    forEachStmt(ctx.tu, [&](Stmt &s) {
+        if (s.kind() != StmtKind::Decl)
+            return;
+        auto &d = static_cast<DeclStmt &>(s);
+        if (!d.type->isStream() || d.is_static)
+            return;
+        if (!ctx.symbol.empty() && d.name != ctx.symbol)
+            return;
+        d.is_static = true;
+        changed = true;
+    });
+    return changed;
+}
+
+bool
+unionToStruct(RepairContext &ctx)
+{
+    bool changed = false;
+    for (auto &sd : ctx.tu.structs) {
+        if (sd->is_union) {
+            sd->is_union = false;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+} // namespace heterogen::repair::xform

@@ -1,0 +1,185 @@
+#include "subjects/forum_corpus.h"
+
+#include "support/rng.h"
+
+namespace heterogen::subjects {
+
+using hls::ErrorCategory;
+
+double
+paperCategoryShare(ErrorCategory category)
+{
+    // Figure 3 proportions.
+    switch (category) {
+      case ErrorCategory::UnsupportedDataTypes: return 0.257;
+      case ErrorCategory::TopFunction: return 0.198;
+      case ErrorCategory::DataflowOptimization: return 0.161;
+      case ErrorCategory::LoopParallelization: return 0.161;
+      case ErrorCategory::StructAndUnion: return 0.141;
+      case ErrorCategory::DynamicDataStructures: return 0.082;
+    }
+    return 0;
+}
+
+namespace {
+
+struct Template
+{
+    const char *title;
+    const char *message;
+};
+
+const std::vector<Template> &
+templatesFor(ErrorCategory category)
+{
+    static const std::vector<Template> dynamic = {
+        {"dynamic memory allocation in synthesis",
+         "ERROR: [SYNCHK 200-31] dynamic memory allocation/deallocation "
+         "is not supported (variable '%s')."},
+        {"array with unknown size",
+         "ERROR: [SYNCHK 200-61] unsupported memory access on variable "
+         "'%s' which is (or contains) an array with unknown size at "
+         "compile time."},
+        {"recursive function fails synthesis",
+         "ERROR: [XFORM 202-876] Synthesizability check failed: "
+         "recursive functions are not supported ('%s')."},
+        {"malloc in kernel code",
+         "Synthesizability check failed because malloc is used to size "
+         "the buffer '%s' at run time."},
+    };
+    static const std::vector<Template> types = {
+        {"error with fixed point design",
+         "ERROR: Call of overloaded 'pow()' is ambiguous for the long "
+         "double variable '%s'."},
+        {"long double not synthesizable",
+         "ERROR: [SYNCHK 200-11] type 'long double' on variable '%s' is "
+         "not synthesizable."},
+        {"pointer to pointer synthesis error",
+         "ERROR: [SYNCHK 200-41] unsupported pointer usage on variable "
+         "'%s'; pointers are not synthesizable."},
+        {"implicit conversion to ap_fixed",
+         "ERROR: implicit type conversion of '%s' is not supported for "
+         "custom FPGA types; explicit type casting required."},
+        {"cannot cast operand",
+         "ERROR: operator overloading for '%s' with a custom-width "
+         "float type requires explicit type casting."},
+    };
+    static const std::vector<Template> dataflow = {
+        {"dataflow directive",
+         "ERROR: [XFORM 203-711] Argument '%s' failed dataflow "
+         "checking."},
+        {"array failed dataflow checking",
+         "ERROR: [XFORM 203-711] Array '%s' failed dataflow checking: "
+         "size is not a multiple of the partition factor."},
+        {"array_partition factor",
+         "ERROR: array_partition of variable '%s' failed dataflow "
+         "checking in the DATAFLOW region."},
+    };
+    static const std::vector<Template> loops = {
+        {"vivado hls loop unrolling option region",
+         "ERROR: [HLS 200-70] Pre-synthesis failed: unroll factor on "
+         "loop '%s' interacts with the enclosing region."},
+        {"cannot unroll loop",
+         "ERROR: [XFORM 203-113] cannot unroll loop '%s' (variable trip "
+         "count)."},
+        {"pipeline II violation",
+         "ERROR: pipeline of loop '%s' cannot achieve the requested "
+         "initiation interval; pre-synthesis failed."},
+    };
+    static const std::vector<Template> structs = {
+        {"using streams in objects does not synthesize",
+         "ERROR: [SYNCHK 200-71] Argument 'this' has an unsynthesizable "
+         "struct type '%s'."},
+        {"struct constructor missing",
+         "ERROR: struct '%s' needs an explicit constructor before it "
+         "can be synthesized."},
+        {"stream member must be static",
+         "ERROR: [XFORM 203-712] stream '%s' connecting struct "
+         "instances in a DATAFLOW region must be static."},
+        {"union in kernel",
+         "ERROR: [SYNCHK 200-72] union type '%s' is not synthesizable."},
+    };
+    static const std::vector<Template> top = {
+        {"cannot find the top function",
+         "ERROR: [HLS 200-10] Cannot find the top function '%s' in the "
+         "design."},
+        {"invalid clock period",
+         "ERROR: [HLS 200-24] top function configuration: invalid clock "
+         "frequency for solution '%s'."},
+        {"unknown device part",
+         "ERROR: [HLS 200-25] top function configuration: unknown "
+         "device '%s'."},
+        {"interface pragma port",
+         "ERROR: top function interface configuration error: port '%s' "
+         "is not a parameter of the design."},
+    };
+    switch (category) {
+      case ErrorCategory::DynamicDataStructures: return dynamic;
+      case ErrorCategory::UnsupportedDataTypes: return types;
+      case ErrorCategory::DataflowOptimization: return dataflow;
+      case ErrorCategory::LoopParallelization: return loops;
+      case ErrorCategory::StructAndUnion: return structs;
+      case ErrorCategory::TopFunction: return top;
+    }
+    return dynamic;
+}
+
+std::string
+instantiate(const char *format, const std::string &symbol)
+{
+    std::string out;
+    for (const char *p = format; *p; ++p) {
+        if (p[0] == '%' && p[1] == 's') {
+            out += symbol;
+            ++p;
+        } else {
+            out += *p;
+        }
+    }
+    return out;
+}
+
+const char *kSymbols[] = {
+    "line_buf_a", "data", "tmp", "A", "curr", "my_func", "If2",
+    "in_ld", "root", "acc", "frame", "weights", "top_fn", "xcvu9p",
+};
+
+} // namespace
+
+std::vector<ForumPost>
+generateForumCorpus(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<ForumPost> posts;
+    posts.reserve(n);
+    // Deterministic counts per category from the paper's proportions;
+    // remainder goes to the largest bucket.
+    int assigned = 0;
+    std::vector<std::pair<ErrorCategory, int>> counts;
+    for (ErrorCategory c : hls::allCategories()) {
+        int k = static_cast<int>(paperCategoryShare(c) * n);
+        counts.emplace_back(c, k);
+        assigned += k;
+    }
+    counts[1].second += n - assigned; // top up UnsupportedDataTypes
+
+    int post_id = 500000;
+    for (const auto &[category, k] : counts) {
+        const auto &tpls = templatesFor(category);
+        for (int i = 0; i < k; ++i) {
+            const Template &tpl = tpls[rng.pickIndex(tpls)];
+            const char *symbol =
+                kSymbols[rng.below(std::size(kSymbols))];
+            ForumPost post;
+            post.post_id = post_id + int(rng.below(400000));
+            post.title = tpl.title;
+            post.message = instantiate(tpl.message, symbol);
+            post.ground_truth = category;
+            posts.push_back(std::move(post));
+        }
+    }
+    rng.shuffle(posts);
+    return posts;
+}
+
+} // namespace heterogen::subjects

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Synthetic Xilinx-forum post corpus for the Figure 3 study.
+ *
+ * The paper classifies 1,000 forum posts into six HLS-incompatibility
+ * categories. The posts themselves are proprietary forum content, so we
+ * generate a corpus whose error messages follow realistic per-category
+ * templates at the paper's observed mix; the classifier that buckets
+ * them is HeteroGen's real repair-localization keyword classifier.
+ */
+
+#ifndef HETEROGEN_SUBJECTS_FORUM_CORPUS_H
+#define HETEROGEN_SUBJECTS_FORUM_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "hls/errors.h"
+
+namespace heterogen::subjects {
+
+/** One synthetic Q&A post. */
+struct ForumPost
+{
+    int post_id = 0;
+    std::string title;
+    std::string message; ///< the quoted toolchain error text
+    hls::ErrorCategory ground_truth;
+};
+
+/** Per-category share of posts matching the paper's pie chart. */
+double paperCategoryShare(hls::ErrorCategory category);
+
+/** Generate a corpus of n posts at the paper's category mix. */
+std::vector<ForumPost> generateForumCorpus(int n, uint64_t seed = 2022);
+
+} // namespace heterogen::subjects
+
+#endif // HETEROGEN_SUBJECTS_FORUM_CORPUS_H

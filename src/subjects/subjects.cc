@@ -1,0 +1,38 @@
+#include "subjects/subjects.h"
+
+#include "subjects/subjects_detail.h"
+#include "support/diagnostics.h"
+
+namespace heterogen::subjects {
+
+const std::vector<Subject> &
+allSubjects()
+{
+    static const std::vector<Subject> subjects = [] {
+        std::vector<Subject> out;
+        out.push_back(detail::makeP1());
+        out.push_back(detail::makeP2());
+        out.push_back(detail::makeP3());
+        out.push_back(detail::makeP4());
+        out.push_back(detail::makeP5());
+        out.push_back(detail::makeP6());
+        out.push_back(detail::makeP7());
+        out.push_back(detail::makeP8());
+        out.push_back(detail::makeP9());
+        out.push_back(detail::makeP10());
+        return out;
+    }();
+    return subjects;
+}
+
+const Subject &
+subjectById(const std::string &id)
+{
+    for (const Subject &s : allSubjects()) {
+        if (s.id == id)
+            return s;
+    }
+    fatal("unknown subject id: ", id);
+}
+
+} // namespace heterogen::subjects

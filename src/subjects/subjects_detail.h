@@ -1,0 +1,23 @@
+/** @file Internal: per-subject factory functions. */
+
+#ifndef HETEROGEN_SUBJECTS_SUBJECTS_DETAIL_H
+#define HETEROGEN_SUBJECTS_SUBJECTS_DETAIL_H
+
+#include "subjects/subjects.h"
+
+namespace heterogen::subjects::detail {
+
+Subject makeP1();
+Subject makeP2();
+Subject makeP3();
+Subject makeP4();
+Subject makeP5();
+Subject makeP6();
+Subject makeP7();
+Subject makeP8();
+Subject makeP9();
+Subject makeP10();
+
+} // namespace heterogen::subjects::detail
+
+#endif // HETEROGEN_SUBJECTS_SUBJECTS_DETAIL_H

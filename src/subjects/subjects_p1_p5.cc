@@ -1,0 +1,781 @@
+/** @file Subjects P1-P5: signal transmission, arithmetic computation,
+ * merge sort, image processing, graph traversal. */
+
+#include "subjects/subjects_detail.h"
+
+namespace heterogen::subjects {
+
+using interp::KernelArg;
+
+namespace detail {
+
+Subject
+makeP1()
+{
+    Subject s;
+    s.id = "P1";
+    s.name = "signal transmission";
+    s.kernel = "kernel";
+    s.host = "host";
+    s.fuzz_seed = 101;
+    // RGB -> YUV conversion via plain arithmetic with long double
+    // coefficients; no loops or arrays, so no performance edit applies.
+    s.source = R"(
+float kernel(int r, int g, int b) {
+    long double y = 0.299L * r + 0.587L * g + 0.114L * b;
+    long double u = 0.436L * b - 0.147L * r - 0.289L * g;
+    long double v = 0.615L * r - 0.515L * g - 0.1L * b;
+    long double chroma = u * 0.5L + v * 0.5L;
+    long double luma = y + chroma * 0.0001L;
+    return luma;
+}
+float host() {
+    return kernel(120, 64, 32);
+}
+)";
+    s.manual_source = R"(
+float kernel(int r, int g, int b) {
+    fpga_float<8,52> y = (fpga_float<8,52>)0.299 * (fpga_float<8,52>)r
+        + (fpga_float<8,52>)0.587 * (fpga_float<8,52>)g
+        + (fpga_float<8,52>)0.114 * (fpga_float<8,52>)b;
+    fpga_float<8,52> u = (fpga_float<8,52>)0.436 * (fpga_float<8,52>)b
+        - (fpga_float<8,52>)0.147 * (fpga_float<8,52>)r
+        - (fpga_float<8,52>)0.289 * (fpga_float<8,52>)g;
+    fpga_float<8,52> v = (fpga_float<8,52>)0.615 * (fpga_float<8,52>)r
+        - (fpga_float<8,52>)0.515 * (fpga_float<8,52>)g
+        - (fpga_float<8,52>)0.1 * (fpga_float<8,52>)b;
+    fpga_float<8,52> chroma = u * (fpga_float<8,52>)0.5
+        + v * (fpga_float<8,52>)0.5;
+    fpga_float<8,52> luma = y + chroma * (fpga_float<8,52>)0.0001;
+    return luma;
+}
+)";
+    return s;
+}
+
+Subject
+makeP2()
+{
+    Subject s;
+    s.id = "P2";
+    s.name = "arithmetic computation";
+    s.kernel = "kernel";
+    s.host = "host";
+    s.fuzz_seed = 102;
+    // Polynomial/transcendental evaluation whose long double accumulator
+    // makes the pow() overload ambiguous under HLS.
+    s.source = R"(
+float kernel(float x[64], int n) {
+    if (n < 0) { n = 0; }
+    if (n > 64) { n = 64; }
+    long double acc = 0.0L;
+    for (int i = 0; i < n; i++) {
+        long double term = pow(acc * 0.125L + x[i], 2.0);
+        long double damped = term * 0.5L + fabs(x[i]);
+        acc = acc + damped;
+    }
+    long double scaled = acc * 0.25L;
+    return scaled;
+}
+float host() {
+    float samples[64];
+    for (int i = 0; i < 64; i++) {
+        samples[i] = i * 0.5 - 1.0;
+    }
+    return kernel(samples, 64);
+}
+)";
+    s.manual_source = R"(
+float kernel(float x[64], int n) {
+    if (n < 0) { n = 0; }
+    if (n > 64) { n = 64; }
+    fpga_float<8,52> acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=64
+        fpga_float<8,52> term = pow(acc * (fpga_float<8,52>)0.125
+            + (fpga_float<8,52>)x[i], 2.0);
+        fpga_float<8,52> damped = term * (fpga_float<8,52>)0.5
+            + (fpga_float<8,52>)fabs(x[i]);
+        acc = acc + damped;
+    }
+    fpga_float<8,52> scaled = acc * (fpga_float<8,52>)0.25;
+    return scaled;
+}
+)";
+    return s;
+}
+
+Subject
+makeP3()
+{
+    Subject s;
+    s.id = "P3";
+    s.name = "merge sort";
+    s.kernel = "kernel";
+    s.host = "host";
+    s.fuzz_seed = 103;
+    // Linked-list merge sort: malloc-built lists, pointer traversal and
+    // void self-recursion communicating through a global result head —
+    // the full dynamic-data-structure error mix of HeteroRefactor's P3.
+    s.source = R"(
+struct Node {
+    int val;
+    Node *next;
+};
+Node *sorted_head = 0;
+Node *list_from(int arr[256], int n) {
+    Node *head = (Node*)0;
+    for (int i = n - 1; i >= 0; i--) {
+        Node *fresh = (Node*)malloc(sizeof(Node));
+        fresh->val = arr[i];
+        fresh->next = head;
+        head = fresh;
+    }
+    return head;
+}
+void append_rest(Node *tail, Node *rest) {
+    Node *curr = rest;
+    Node *last = tail;
+    while (curr != 0) {
+        Node *fresh = (Node*)malloc(sizeof(Node));
+        fresh->val = curr->val;
+        fresh->next = (Node*)0;
+        last->next = fresh;
+        last = fresh;
+        curr = curr->next;
+    }
+}
+void merge(Node *a, Node *b) {
+    Node *result = (Node*)malloc(sizeof(Node));
+    result->val = 0;
+    result->next = (Node*)0;
+    Node *tail = result;
+    while (a != 0 && b != 0) {
+        Node *fresh = (Node*)malloc(sizeof(Node));
+        fresh->next = (Node*)0;
+        if (a->val <= b->val) {
+            fresh->val = a->val;
+            a = a->next;
+        } else {
+            fresh->val = b->val;
+            b = b->next;
+        }
+        tail->next = fresh;
+        tail = fresh;
+    }
+    if (a != 0) {
+        append_rest(tail, a);
+    }
+    if (b != 0) {
+        append_rest(tail, b);
+    }
+    sorted_head = result->next;
+}
+void msort(Node *head, int n) {
+    if (n <= 1) {
+        sorted_head = head;
+        return;
+    }
+    int half = n / 2;
+    Node *mid = head;
+    for (int i = 0; i < half - 1; i++) {
+        mid = mid->next;
+    }
+    Node *back = mid->next;
+    mid->next = (Node*)0;
+    msort(head, half);
+    Node *left_sorted = sorted_head;
+    msort(back, n - half);
+    Node *right_sorted = sorted_head;
+    merge(left_sorted, right_sorted);
+}
+void kernel(int data[256], int n) {
+    if (n < 0) { n = 0; }
+    if (n > 256) { n = 256; }
+    Node *head = list_from(data, n);
+    sorted_head = (Node*)0;
+    msort(head, n);
+    Node *curr = sorted_head;
+    int i = 0;
+    while (curr != 0) {
+        data[i] = curr->val;
+        i = i + 1;
+        curr = curr->next;
+    }
+}
+int host() {
+    int data[256];
+    for (int i = 0; i < 256; i++) {
+        data[i] = (i * 7919 + 13) % 512 - 256;
+    }
+    kernel(data, 200);
+    return data[0];
+}
+)";
+    // Manual port: bottom-up iterative merge sort over static buffers.
+    s.manual_source = R"(
+int ms_buf[256];
+int ms_tmp[256];
+void merge_runs(int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=256
+        if (ms_buf[i] <= ms_buf[j]) {
+            ms_tmp[k] = ms_buf[i];
+            i = i + 1;
+        } else {
+            ms_tmp[k] = ms_buf[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i < mid) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=256
+        ms_tmp[k] = ms_buf[i];
+        i = i + 1;
+        k = k + 1;
+    }
+    while (j < hi) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=256
+        ms_tmp[k] = ms_buf[j];
+        j = j + 1;
+        k = k + 1;
+    }
+    int c = lo;
+    while (c < hi) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=256
+        ms_buf[c] = ms_tmp[c];
+        c = c + 1;
+    }
+}
+void kernel(int data[256], int n) {
+    if (n < 0) { n = 0; }
+    if (n > 256) { n = 256; }
+    for (int i = 0; i < n; i++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=256
+        ms_buf[i] = data[i];
+    }
+    int width = 1;
+    while (width < n) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=9
+        int lo = 0;
+        while (lo < n - width) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=128
+            int mid = lo + width;
+            int hi = lo + 2 * width;
+            if (hi > n) { hi = n; }
+            merge_runs(lo, mid, hi);
+            lo = lo + 2 * width;
+        }
+        width = 2 * width;
+    }
+    for (int i = 0; i < n; i++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=256
+        data[i] = ms_buf[i];
+    }
+}
+)";
+    // Pre-existing handcrafted tests: tiny fixed lists (Table 4: 10
+    // tests reaching only a quarter of the branches).
+    for (int t = 0; t < 10; ++t) {
+        std::vector<long> arr(256, 0);
+        arr[0] = t;
+        arr[1] = t - 1;
+        s.existing_tests.push_back(
+            {KernelArg::ofInts(arr), KernelArg::ofInt(t % 3)});
+    }
+    return s;
+}
+
+Subject
+makeP4()
+{
+    Subject s;
+    s.id = "P4";
+    s.name = "image processing";
+    s.kernel = "kernel";
+    s.host = "host";
+    s.fuzz_seed = 104;
+    // A 16x16 filtering pipeline: box blur, Sobel-style gradient,
+    // histogram stretch and threshold. The blur stage buffers one image
+    // row in a variable-length array sized by the runtime column count,
+    // which HLS rejects (the paper's line_buf scenario).
+    s.source = R"(
+int clampv(int v, int lo, int hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+int pix(int img[256], int w, int h, int x, int y) {
+    int cx = clampv(x, 0, w - 1);
+    int cy = clampv(y, 0, h - 1);
+    return img[cy * 16 + cx];
+}
+void blur(int src[256], int dst[256], int w, int h) {
+    int cols = w;
+    int line_buf[cols];
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            line_buf[x] = pix(src, w, h, x, y - 1);
+        }
+        for (int x = 0; x < w; x++) {
+            int acc = line_buf[x];
+            acc = acc + pix(src, w, h, x - 1, y);
+            acc = acc + pix(src, w, h, x, y);
+            acc = acc + pix(src, w, h, x + 1, y);
+            acc = acc + pix(src, w, h, x, y + 1);
+            dst[y * 16 + x] = acc / 5;
+        }
+    }
+}
+void gradient(int src[256], int dst[256], int w, int h) {
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int gx = pix(src, w, h, x + 1, y) - pix(src, w, h, x - 1, y);
+            int gy = pix(src, w, h, x, y + 1) - pix(src, w, h, x, y - 1);
+            int ax = gx;
+            if (ax < 0) { ax = -ax; }
+            int ay = gy;
+            if (ay < 0) { ay = -ay; }
+            dst[y * 16 + x] = ax + ay;
+        }
+    }
+}
+void median3(int src[256], int dst[256], int w, int h) {
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int a = pix(src, w, h, x - 1, y);
+            int b = pix(src, w, h, x, y);
+            int c = pix(src, w, h, x + 1, y);
+            int lo = a;
+            if (b < lo) { lo = b; }
+            if (c < lo) { lo = c; }
+            int hi = a;
+            if (b > hi) { hi = b; }
+            if (c > hi) { hi = c; }
+            dst[y * 16 + x] = a + b + c - lo - hi;
+        }
+    }
+}
+void dilate(int src[256], int dst[256], int w, int h) {
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int best = pix(src, w, h, x, y);
+            if (pix(src, w, h, x - 1, y) > best) {
+                best = pix(src, w, h, x - 1, y);
+            }
+            if (pix(src, w, h, x + 1, y) > best) {
+                best = pix(src, w, h, x + 1, y);
+            }
+            if (pix(src, w, h, x, y - 1) > best) {
+                best = pix(src, w, h, x, y - 1);
+            }
+            if (pix(src, w, h, x, y + 1) > best) {
+                best = pix(src, w, h, x, y + 1);
+            }
+            dst[y * 16 + x] = best;
+        }
+    }
+}
+void stretch(int src[256], int dst[256], int w, int h) {
+    int lo = 255;
+    int hi = 0;
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int v = src[y * 16 + x];
+            if (v < lo) { lo = v; }
+            if (v > hi) { hi = v; }
+        }
+    }
+    int span = hi - lo;
+    if (span <= 0) { span = 1; }
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int v = src[y * 16 + x] - lo;
+            dst[y * 16 + x] = v * 255 / span;
+        }
+    }
+}
+void threshold(int src[256], int dst[256], int w, int h, int cut) {
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            if (src[y * 16 + x] >= cut) {
+                dst[y * 16 + x] = 255;
+            } else {
+                dst[y * 16 + x] = 0;
+            }
+        }
+    }
+}
+int stage_a[256];
+int stage_b[256];
+void kernel(int img[256], int out[256], int w, int h, int cut) {
+    if (w < 1) { w = 1; }
+    if (w > 16) { w = 16; }
+    if (h < 1) { h = 1; }
+    if (h > 16) { h = 16; }
+    if (cut < 0) { cut = 0; }
+    if (cut > 255) { cut = 255; }
+    blur(img, stage_a, w, h);
+    gradient(stage_a, stage_b, w, h);
+    median3(stage_b, stage_a, w, h);
+    dilate(stage_a, stage_b, w, h);
+    stretch(stage_b, stage_a, w, h);
+    threshold(stage_a, out, w, h, cut);
+}
+int host() {
+    int img[256];
+    int out[256];
+    for (int i = 0; i < 256; i++) {
+        img[i] = (i * 31 + 7) % 256;
+        out[i] = 0;
+    }
+    kernel(img, out, 16, 16, 128);
+    return out[0];
+}
+)";
+    s.manual_source = R"(
+int clampv(int v, int lo, int hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+int pix(int img[256], int w, int h, int x, int y) {
+    int cx = clampv(x, 0, w - 1);
+    int cy = clampv(y, 0, h - 1);
+    return img[cy * 16 + cx];
+}
+void blur(int src[256], int dst[256], int w, int h) {
+    int line_buf[16];
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            line_buf[x] = pix(src, w, h, x, y - 1);
+        }
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            int acc = line_buf[x];
+            acc = acc + pix(src, w, h, x - 1, y);
+            acc = acc + pix(src, w, h, x, y);
+            acc = acc + pix(src, w, h, x + 1, y);
+            acc = acc + pix(src, w, h, x, y + 1);
+            dst[y * 16 + x] = acc / 5;
+        }
+    }
+}
+void gradient(int src[256], int dst[256], int w, int h) {
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            int gx = pix(src, w, h, x + 1, y) - pix(src, w, h, x - 1, y);
+            int gy = pix(src, w, h, x, y + 1) - pix(src, w, h, x, y - 1);
+            int ax = gx;
+            if (ax < 0) { ax = -ax; }
+            int ay = gy;
+            if (ay < 0) { ay = -ay; }
+            dst[y * 16 + x] = ax + ay;
+        }
+    }
+}
+void median3(int src[256], int dst[256], int w, int h) {
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            int a = pix(src, w, h, x - 1, y);
+            int b = pix(src, w, h, x, y);
+            int c = pix(src, w, h, x + 1, y);
+            int lo = a;
+            if (b < lo) { lo = b; }
+            if (c < lo) { lo = c; }
+            int hi = a;
+            if (b > hi) { hi = b; }
+            if (c > hi) { hi = c; }
+            dst[y * 16 + x] = a + b + c - lo - hi;
+        }
+    }
+}
+void dilate(int src[256], int dst[256], int w, int h) {
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            int best = pix(src, w, h, x, y);
+            if (pix(src, w, h, x - 1, y) > best) {
+                best = pix(src, w, h, x - 1, y);
+            }
+            if (pix(src, w, h, x + 1, y) > best) {
+                best = pix(src, w, h, x + 1, y);
+            }
+            if (pix(src, w, h, x, y - 1) > best) {
+                best = pix(src, w, h, x, y - 1);
+            }
+            if (pix(src, w, h, x, y + 1) > best) {
+                best = pix(src, w, h, x, y + 1);
+            }
+            dst[y * 16 + x] = best;
+        }
+    }
+}
+void stretch(int src[256], int dst[256], int w, int h) {
+    int lo = 255;
+    int hi = 0;
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            int v = src[y * 16 + x];
+            if (v < lo) { lo = v; }
+            if (v > hi) { hi = v; }
+        }
+    }
+    int span = hi - lo;
+    if (span <= 0) { span = 1; }
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            int v = src[y * 16 + x] - lo;
+            dst[y * 16 + x] = v * 255 / span;
+        }
+    }
+}
+void threshold(int src[256], int dst[256], int w, int h, int cut) {
+    for (int y = 0; y < h; y++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=16
+        for (int x = 0; x < w; x++) {
+            #pragma HLS pipeline II=1
+            #pragma HLS loop_tripcount max=16
+            if (src[y * 16 + x] >= cut) {
+                dst[y * 16 + x] = 255;
+            } else {
+                dst[y * 16 + x] = 0;
+            }
+        }
+    }
+}
+int stage_a[256];
+int stage_b[256];
+void kernel(int img[256], int out[256], int w, int h, int cut) {
+    if (w < 1) { w = 1; }
+    if (w > 16) { w = 16; }
+    if (h < 1) { h = 1; }
+    if (h > 16) { h = 16; }
+    if (cut < 0) { cut = 0; }
+    if (cut > 255) { cut = 255; }
+    blur(img, stage_a, w, h);
+    gradient(stage_a, stage_b, w, h);
+    median3(stage_b, stage_a, w, h);
+    dilate(stage_a, stage_b, w, h);
+    stretch(stage_b, stage_a, w, h);
+    threshold(stage_a, out, w, h, cut);
+}
+)";
+    return s;
+}
+
+Subject
+makeP5()
+{
+    Subject s;
+    s.id = "P5";
+    s.name = "graph traversal";
+    s.kernel = "kernel";
+    s.host = "host";
+    s.fuzz_seed = 105;
+    // Binary-search-tree build (iterative, malloc) plus recursive
+    // depth-first traversal — the paper's working example (Figure 2).
+    s.source = R"(
+struct Node {
+    int val;
+    Node *left;
+    Node *right;
+};
+Node *root = 0;
+int total = 0;
+int visits = 0;
+void insert(int v) {
+    Node *fresh = (Node*)malloc(sizeof(Node));
+    fresh->val = v;
+    fresh->left = (Node*)0;
+    fresh->right = (Node*)0;
+    if (root == 0) {
+        root = fresh;
+        return;
+    }
+    Node *curr = root;
+    while (1) {
+        if (v < curr->val) {
+            if (curr->left == 0) {
+                curr->left = fresh;
+                return;
+            }
+            curr = curr->left;
+        } else {
+            if (curr->right == 0) {
+                curr->right = fresh;
+                return;
+            }
+            curr = curr->right;
+        }
+    }
+}
+void traverse(Node *curr) {
+    if (curr != 0) {
+        visits = visits + 1;
+        int ret = curr->val;
+        total = total + ret * visits;
+        traverse(curr->left);
+        traverse(curr->right);
+    }
+}
+int kernel(int vals[64], int n) {
+    if (n < 0) { n = 0; }
+    if (n > 64) { n = 64; }
+    root = (Node*)0;
+    total = 0;
+    visits = 0;
+    for (int i = 0; i < n; i++) {
+        insert(vals[i]);
+    }
+    traverse(root);
+    long double normalized = total * 1.0L;
+    return normalized;
+}
+int host() {
+    int vals[64];
+    for (int i = 0; i < 64; i++) {
+        vals[i] = (i * 53 + 11) % 97;
+    }
+    return kernel(vals, 64);
+}
+)";
+    // Manual port: array-backed tree plus a hand-written explicit stack.
+    s.manual_source = R"(
+int tree_val[4096];
+int tree_left[4096];
+int tree_right[4096];
+int tree_top = 1;
+int root = 0;
+int total = 0;
+int visits = 0;
+int node_alloc(int v) {
+    int idx = 0;
+    if (tree_top < 4096) {
+        idx = tree_top;
+        tree_top = tree_top + 1;
+        tree_val[idx] = v;
+        tree_left[idx] = 0;
+        tree_right[idx] = 0;
+    }
+    return idx;
+}
+void insert(int v) {
+    int fresh = node_alloc(v);
+    if (root == 0) {
+        root = fresh;
+        return;
+    }
+    int curr = root;
+    while (1) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=64
+        if (v < tree_val[curr]) {
+            if (tree_left[curr] == 0) {
+                tree_left[curr] = fresh;
+                return;
+            }
+            curr = tree_left[curr];
+        } else {
+            if (tree_right[curr] == 0) {
+                tree_right[curr] = fresh;
+                return;
+            }
+            curr = tree_right[curr];
+        }
+    }
+}
+int dfs_stack[4096];
+void traverse(int start) {
+    int sp = 0;
+    dfs_stack[sp] = start;
+    sp = sp + 1;
+    while (sp > 0) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=128
+        sp = sp - 1;
+        int curr = dfs_stack[sp];
+        if (curr != 0) {
+            visits = visits + 1;
+            fpga_uint<7> ret = tree_val[curr];
+            total = total + ret * visits;
+            if (sp < 4095) {
+                dfs_stack[sp] = tree_right[curr];
+                sp = sp + 1;
+            }
+            if (sp < 4095) {
+                dfs_stack[sp] = tree_left[curr];
+                sp = sp + 1;
+            }
+        }
+    }
+}
+int kernel(int vals[64], int n) {
+    if (n < 0) { n = 0; }
+    if (n > 64) { n = 64; }
+    tree_top = 1;
+    root = 0;
+    total = 0;
+    visits = 0;
+    for (int i = 0; i < n; i++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount max=64
+        insert(vals[i]);
+    }
+    traverse(root);
+    fpga_float<8,52> normalized = (fpga_float<8,52>)total * (fpga_float<8,52>)1.0;
+    return normalized;
+}
+)";
+    // Pre-existing tests: a handful of tiny fixed trees (Table 4: 10
+    // tests, 40% coverage).
+    for (int t = 0; t < 10; ++t) {
+        std::vector<long> vals(64, 0);
+        vals[0] = 50;
+        vals[1] = 50 + t;
+        s.existing_tests.push_back(
+            {KernelArg::ofInts(vals), KernelArg::ofInt(2)});
+    }
+    return s;
+}
+
+} // namespace detail
+
+} // namespace heterogen::subjects

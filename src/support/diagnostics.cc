@@ -1,0 +1,65 @@
+#include "support/diagnostics.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace heterogen {
+
+namespace {
+
+LogLevel g_min_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_min_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_min_level;
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_min_level))
+        return;
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace detail
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "[panic] " << msg << std::endl;
+    std::abort();
+}
+
+std::string
+SourceLoc::str() const
+{
+    if (!valid())
+        return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+} // namespace heterogen

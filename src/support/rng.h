@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component (fuzzer mutation, random-order repair search)
+ * draws from an explicitly seeded Rng so whole experiments replay exactly.
+ */
+
+#ifndef HETEROGEN_SUPPORT_RNG_H
+#define HETEROGEN_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace heterogen {
+
+/**
+ * A small, fast, deterministic generator (xoshiro256** core) with the
+ * convenience draws the rest of the library needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Pick a uniformly random element index of a non-empty container. */
+    template <typename Container>
+    size_t
+    pickIndex(const Container &c)
+    {
+        return static_cast<size_t>(below(c.size()));
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace heterogen
+
+#endif // HETEROGEN_SUPPORT_RNG_H

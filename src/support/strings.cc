@@ -1,0 +1,92 @@
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace heterogen {
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+bool
+containsIgnoreCase(const std::string &haystack, const std::string &needle)
+{
+    return contains(toLower(haystack), toLower(needle));
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(s);
+    while (std::getline(is, item, delim))
+        out.push_back(item);
+    if (!s.empty() && s.back() == delim)
+        out.push_back("");
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &items, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+int
+countLines(const std::string &text)
+{
+    if (text.empty())
+        return 0;
+    int n = static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+    if (text.back() != '\n')
+        ++n;
+    return n;
+}
+
+} // namespace heterogen

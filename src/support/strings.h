@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef HETEROGEN_SUPPORT_STRINGS_H
+#define HETEROGEN_SUPPORT_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace heterogen {
+
+/** True if haystack contains needle. */
+bool contains(const std::string &haystack, const std::string &needle);
+
+/** Case-insensitive contains(). */
+bool containsIgnoreCase(const std::string &haystack,
+                        const std::string &needle);
+
+/** True if s starts with prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True if s ends with suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Split on a single delimiter character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+/** Count '\n'-separated lines of text (a trailing newline adds no line). */
+int countLines(const std::string &text);
+
+} // namespace heterogen
+
+#endif // HETEROGEN_SUPPORT_STRINGS_H

@@ -1,0 +1,111 @@
+/** @file Public-API contract tests: instance reuse, error reporting,
+ * behavioural-equality semantics. */
+
+#include <gtest/gtest.h>
+
+#include "cir/parser.h"
+#include "cir/sema.h"
+#include "core/heterogen.h"
+#include "interp/interp.h"
+
+namespace heterogen {
+namespace {
+
+using interp::KernelArg;
+
+TEST(InterpreterApi, RunsAreIsolated)
+{
+    auto tu = cir::parse(R"(
+        int counter = 0;
+        int kernel(int d) { counter = counter + d; return counter; }
+    )");
+    cir::analyzeOrDie(*tu);
+    interp::Interpreter interp(*tu);
+    // Globals re-initialize per run: no leakage between invocations.
+    EXPECT_EQ(interp.run("kernel", {KernelArg::ofInt(5)}).ret.i, 5);
+    EXPECT_EQ(interp.run("kernel", {KernelArg::ofInt(5)}).ret.i, 5);
+    EXPECT_EQ(interp.run("kernel", {KernelArg::ofInt(7)}).ret.i, 7);
+}
+
+TEST(InterpreterApi, MissingFunctionIsATrapNotACrash)
+{
+    auto tu = cir::parse("int f(int x) { return x; }");
+    cir::analyzeOrDie(*tu);
+    auto r = interp::runProgram(*tu, "nope", {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.trap.find("no such function"), std::string::npos);
+}
+
+TEST(InterpreterApi, ArgumentArityMismatchTraps)
+{
+    auto tu = cir::parse("int f(int x) { return x; }");
+    cir::analyzeOrDie(*tu);
+    EXPECT_FALSE(interp::runProgram(*tu, "f", {}).ok);
+    EXPECT_FALSE(interp::runProgram(*tu, "f",
+                                    {KernelArg::ofInt(1),
+                                     KernelArg::ofInt(2)})
+                     .ok);
+}
+
+TEST(InterpreterApi, BothTrappingCountsAsSameBehavior)
+{
+    auto tu = cir::parse("int f(int x) { return 10 / x; }");
+    cir::analyzeOrDie(*tu);
+    auto a = interp::runProgram(*tu, "f", {KernelArg::ofInt(0)});
+    auto b = interp::runProgram(*tu, "f", {KernelArg::ofInt(0)});
+    ASSERT_FALSE(a.ok);
+    EXPECT_TRUE(a.sameBehavior(b));
+    auto ok = interp::runProgram(*tu, "f", {KernelArg::ofInt(2)});
+    EXPECT_FALSE(a.sameBehavior(ok));
+}
+
+TEST(HeteroGenApi, ParseErrorsSurfaceAsFatalError)
+{
+    EXPECT_THROW(core::HeteroGen engine("int f( {"), FatalError);
+    EXPECT_THROW(core::HeteroGen engine("int f() { return ghost; }"),
+                 FatalError);
+}
+
+TEST(HeteroGenApi, MissingKernelIsFatal)
+{
+    core::HeteroGen engine("int f(int x) { return x; }");
+    core::HeteroGenOptions opts;
+    opts.kernel = "does_not_exist";
+    EXPECT_THROW(engine.run(opts), FatalError);
+    core::HeteroGenOptions empty;
+    EXPECT_THROW(engine.run(empty), FatalError);
+}
+
+TEST(HeteroGenApi, RunIsRepeatable)
+{
+    core::HeteroGen engine(
+        "int kernel(int x) { long double v = x; return v; }");
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.fuzz.max_executions = 100;
+    opts.fuzz.rng_seed = 5;
+    auto a = engine.run(opts);
+    auto b = engine.run(opts);
+    EXPECT_EQ(a.ok(), b.ok());
+    EXPECT_EQ(a.hls_source, b.hls_source);
+    EXPECT_EQ(a.search.applied_order, b.search.applied_order);
+}
+
+TEST(HeteroGenApi, ReportAccountingIsConsistent)
+{
+    core::HeteroGen engine(
+        "int kernel(int x) { long double v = x; return v; }");
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.fuzz.max_executions = 100;
+    auto report = engine.run(opts);
+    ASSERT_TRUE(report.ok());
+    EXPECT_NEAR(report.total_minutes,
+                report.testgen.sim_minutes + report.search.sim_minutes,
+                1e-9);
+    EXPECT_GT(report.final_loc, 0);
+    EXPECT_GT(report.orig_loc, 0);
+}
+
+} // namespace
+} // namespace heterogen

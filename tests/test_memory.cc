@@ -1,0 +1,183 @@
+/** @file Unit tests for the interpreter's memory model and values. */
+
+#include <gtest/gtest.h>
+
+#include "interp/kernel_arg.h"
+#include "interp/memory.h"
+#include "interp/value.h"
+
+namespace heterogen::interp {
+namespace {
+
+using cir::Type;
+
+TEST(Value, KindsAndAccessors)
+{
+    Value i = Value::makeInt(42);
+    EXPECT_TRUE(i.isInt());
+    EXPECT_EQ(i.asInt(), 42);
+    EXPECT_DOUBLE_EQ(i.asFloat(), 42.0);
+    Value f = Value::makeFloat(2.5);
+    EXPECT_TRUE(f.isFloat());
+    EXPECT_DOUBLE_EQ(f.asFloat(), 2.5);
+    Value p = Value::makePointer({3, 7});
+    EXPECT_TRUE(p.isPointer());
+    EXPECT_EQ(p.asPlace().block, 3);
+    Value s = Value::makeStream(5);
+    EXPECT_TRUE(s.isStream());
+    EXPECT_EQ(s.streamId(), 5);
+    EXPECT_TRUE(Value().isUnset());
+}
+
+TEST(Value, Truthiness)
+{
+    EXPECT_FALSE(Value::makeInt(0).truthy());
+    EXPECT_TRUE(Value::makeInt(-1).truthy());
+    EXPECT_FALSE(Value::makeFloat(0.0).truthy());
+    EXPECT_TRUE(Value::makeFloat(0.1).truthy());
+    EXPECT_FALSE(Value::makePointer({0, 0}).truthy());
+    EXPECT_TRUE(Value::makePointer({2, 0}).truthy());
+    EXPECT_FALSE(Value().truthy());
+}
+
+TEST(Value, CrossKindNumericEquality)
+{
+    EXPECT_TRUE(Value::makeInt(3).equals(Value::makeFloat(3.0)));
+    EXPECT_FALSE(Value::makeInt(3).equals(Value::makeFloat(3.5)));
+    EXPECT_FALSE(Value::makeInt(3).equals(Value::makePointer({1, 0})));
+}
+
+TEST(Value, WrapIntBehaviour)
+{
+    EXPECT_EQ(wrapInt(130, 7, false), 2);
+    EXPECT_EQ(wrapInt(127, 7, false), 127);
+    EXPECT_EQ(wrapInt(9, 4, true), -7);
+    EXPECT_EQ(wrapInt(-1, 4, false), 15);
+    EXPECT_EQ(wrapInt(123456789, 64, true), 123456789);
+}
+
+TEST(Value, QuantizeFloat)
+{
+    EXPECT_DOUBLE_EQ(quantizeFloat(1.0, 4), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeFloat(0.0, 4), 0.0);
+    // 1 + 2^-10 rounds away below 10 mantissa bits.
+    EXPECT_DOUBLE_EQ(quantizeFloat(1.0 + 1.0 / 1024.0, 4), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeFloat(1.0 + 1.0 / 1024.0, 52),
+                     1.0 + 1.0 / 1024.0);
+}
+
+TEST(Value, CoercePointerFromInt)
+{
+    Value v = coerceToType(Value::makeInt(0),
+                           Type::pointer(Type::intType()));
+    ASSERT_TRUE(v.isPointer());
+    EXPECT_TRUE(v.asPlace().isNull());
+}
+
+TEST(Memory, AllocateLoadStore)
+{
+    Memory mem;
+    int32_t b = mem.allocate(4, Type::intType());
+    mem.store({b, 0}, Value::makeInt(10));
+    mem.store({b, 3}, Value::makeInt(13));
+    EXPECT_EQ(mem.load({b, 0}).asInt(), 10);
+    EXPECT_EQ(mem.load({b, 3}).asInt(), 13);
+    EXPECT_EQ(mem.blockSize(b), 4);
+}
+
+TEST(Memory, StoreCoercesToCellType)
+{
+    Memory mem;
+    int32_t b = mem.allocate(1, Type::fpgaUint(7));
+    mem.store({b, 0}, Value::makeInt(130));
+    EXPECT_EQ(mem.load({b, 0}).asInt(), 2);
+}
+
+TEST(Memory, PatternBlocksCoercePerField)
+{
+    Memory mem;
+    int32_t b = mem.allocatePattern(
+        2, Type::structType("S"),
+        {Type::fpgaUint(4), Type::intType()});
+    EXPECT_EQ(mem.blockSize(b), 4);
+    mem.store({b, 0}, Value::makeInt(20)); // field 0 of elem 0: wraps
+    mem.store({b, 2}, Value::makeInt(20)); // field 0 of elem 1: wraps
+    mem.store({b, 3}, Value::makeInt(20)); // field 1 of elem 1: intact
+    EXPECT_EQ(mem.load({b, 0}).asInt(), 4);
+    EXPECT_EQ(mem.load({b, 2}).asInt(), 4);
+    EXPECT_EQ(mem.load({b, 3}).asInt(), 20);
+}
+
+TEST(Memory, TrapsOnBadAccess)
+{
+    Memory mem;
+    int32_t b = mem.allocate(2, Type::intType());
+    EXPECT_THROW(mem.load({b, 2}), Trap);
+    EXPECT_THROW(mem.load({b, -1}), Trap);
+    EXPECT_THROW(mem.load({0, 0}), Trap);
+    EXPECT_THROW(mem.load({999, 0}), Trap);
+}
+
+TEST(Memory, FreeDiscipline)
+{
+    Memory mem;
+    int32_t heap = mem.allocate(1, Type::intType(), true);
+    int32_t stack = mem.allocate(1, Type::intType(), false);
+    EXPECT_THROW(mem.release({stack, 0}), Trap);
+    EXPECT_THROW(mem.release({heap, 1}), Trap) << "interior free";
+    mem.release({heap, 0});
+    EXPECT_THROW(mem.release({heap, 0}), Trap) << "double free";
+    EXPECT_THROW(mem.load({heap, 0}), Trap) << "use after free";
+    mem.release({0, 0}); // free(NULL) is a no-op
+}
+
+TEST(Memory, LiveCellsAccounting)
+{
+    Memory mem;
+    size_t base = mem.liveCells();
+    int32_t a = mem.allocate(10, Type::intType(), true);
+    mem.allocate(5, Type::intType());
+    EXPECT_EQ(mem.liveCells(), base + 15);
+    mem.release({a, 0});
+    EXPECT_EQ(mem.liveCells(), base + 5);
+}
+
+TEST(Memory, StreamsAreFifos)
+{
+    Memory mem;
+    int32_t s = mem.createStream();
+    EXPECT_TRUE(mem.streamEmpty(s));
+    mem.streamWrite(s, Value::makeInt(1));
+    mem.streamWrite(s, Value::makeInt(2));
+    EXPECT_EQ(mem.streamSize(s), 2u);
+    EXPECT_EQ(mem.streamRead(s).asInt(), 1);
+    EXPECT_EQ(mem.streamRead(s).asInt(), 2);
+    EXPECT_THROW(mem.streamRead(s), Trap);
+    EXPECT_THROW(mem.streamRead(99), Trap);
+}
+
+TEST(KernelArg, FactoriesAndEquality)
+{
+    EXPECT_EQ(KernelArg::ofInt(3), KernelArg::ofInt(3));
+    EXPECT_FALSE(KernelArg::ofInt(3) == KernelArg::ofInt(4));
+    EXPECT_FALSE(KernelArg::ofInt(3) == KernelArg::ofFloat(3));
+    auto a = KernelArg::ofInts({1, 2, 3});
+    EXPECT_TRUE(a.isArray());
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_TRUE(KernelArg::ofInt(3).isScalar());
+}
+
+TEST(KernelArg, StringRendering)
+{
+    EXPECT_EQ(KernelArg::ofInt(-5).str(), "-5");
+    EXPECT_EQ(KernelArg::ofInts({1, 2}).str(), "[1,2]");
+    // Long arrays are elided.
+    std::vector<long> big(20, 1);
+    auto s = KernelArg::ofInts(big).str();
+    EXPECT_NE(s.find("...(20)"), std::string::npos);
+    EXPECT_EQ(argsToString({KernelArg::ofInt(1), KernelArg::ofInt(2)}),
+              "(1, 2)");
+}
+
+} // namespace
+} // namespace heterogen::interp

@@ -1,0 +1,147 @@
+/** @file Round-trip and formatting tests for the CIR printer. */
+
+#include <gtest/gtest.h>
+
+#include "cir/parser.h"
+#include "cir/printer.h"
+
+namespace heterogen::cir {
+namespace {
+
+/** print(parse(x)) must reach a fixed point after one round. */
+void
+expectStablePrint(const std::string &src)
+{
+    auto tu1 = parse(src);
+    std::string once = print(*tu1);
+    auto tu2 = parse(once);
+    std::string twice = print(*tu2);
+    EXPECT_EQ(once, twice) << "printer not a fixed point for:\n" << src;
+}
+
+TEST(Printer, ExpressionForms)
+{
+    EXPECT_EQ(print(*parseExpression("1 + 2 * 3")), "1 + (2 * 3)");
+    EXPECT_EQ(print(*parseExpression("a[i]")), "a[i]");
+    EXPECT_EQ(print(*parseExpression("p->next")), "p->next");
+    EXPECT_EQ(print(*parseExpression("s.f(1, 2)")), "s.f(1, 2)");
+    EXPECT_EQ(print(*parseExpression("(float)x")), "(float)x");
+    EXPECT_EQ(print(*parseExpression("-x")), "-x");
+    EXPECT_EQ(print(*parseExpression("x++")), "x++");
+    EXPECT_EQ(print(*parseExpression("sizeof(int)")), "sizeof(int)");
+}
+
+TEST(Printer, FloatLiteralAlwaysHasPointOrExponent)
+{
+    EXPECT_EQ(print(*parseExpression("1.0")), "1.0");
+    EXPECT_EQ(print(*parseExpression("2.5")), "2.5");
+    EXPECT_EQ(print(*parseExpression("3.0L")), "3.0L");
+}
+
+TEST(Printer, RoundTripFunction)
+{
+    expectStablePrint("int add(int a, int b) { return a + b; }");
+}
+
+TEST(Printer, RoundTripControlFlow)
+{
+    expectStablePrint(R"(
+        int f(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) { acc += i; } else { acc -= 1; }
+                while (acc > 100) { acc /= 2; }
+            }
+            return acc;
+        }
+    )");
+}
+
+TEST(Printer, RoundTripStructsAndStreams)
+{
+    expectStablePrint(R"(
+        struct If2 {
+            hls::stream<int> &in;
+            hls::stream<int> &out;
+            If2(hls::stream<int> &i, hls::stream<int> &o) : in(i), out(o) {}
+            int doRead() { return in.read(); }
+        };
+        void top(hls::stream<int> &in, hls::stream<int> &out) {
+            #pragma HLS dataflow
+            out.write(If2{ in, out }.doRead());
+        }
+    )");
+}
+
+TEST(Printer, RoundTripPointersMallocAndRecursion)
+{
+    expectStablePrint(R"(
+        struct Node { int val; Node *left; Node *right; };
+        void init(Node **root) { *root = (Node*)malloc(sizeof(Node)); }
+        void traverse(Node *curr) {
+            if (curr != 0) {
+                traverse(curr->left);
+                traverse(curr->right);
+            }
+        }
+    )");
+}
+
+TEST(Printer, RoundTripPragmasAndArrays)
+{
+    expectStablePrint(R"(
+        int table[13];
+        void f(int a[16], int n) {
+            #pragma HLS array_partition variable=a factor=4
+            for (int i = 0; i < 16; i++) {
+                #pragma HLS pipeline II=1
+                #pragma HLS unroll factor=2
+                a[i] = table[i % 13] + n;
+            }
+        }
+    )");
+}
+
+TEST(Printer, RoundTripVla)
+{
+    expectStablePrint("void f(int cols) { int buf[cols]; buf[0] = 1; }");
+}
+
+TEST(Printer, RoundTripFpgaTypes)
+{
+    expectStablePrint(R"(
+        fpga_uint<7> clamp(fpga_int<12> a) {
+            fpga_float<8,23> scale = 2.0;
+            return (fpga_uint<7>)(a * 2);
+        }
+    )");
+}
+
+TEST(Printer, PragmaStringForms)
+{
+    PragmaInfo p;
+    p.kind = PragmaKind::ArrayPartition;
+    p.params["variable"] = "A";
+    p.params["factor"] = "4";
+    EXPECT_EQ(p.str(), "#pragma HLS array_partition factor=4 variable=A");
+    PragmaInfo d;
+    d.kind = PragmaKind::Dataflow;
+    EXPECT_EQ(d.str(), "#pragma HLS dataflow");
+}
+
+TEST(Printer, ClonePrintsIdentically)
+{
+    auto tu = parse(R"(
+        struct Node { int val; Node *next; };
+        int sum(Node *head) {
+            int acc = 0;
+            while (head != 0) { acc += head->val; head = head->next; }
+            return acc;
+        }
+    )");
+    auto copy = tu->clone();
+    EXPECT_EQ(print(*tu), print(*copy));
+}
+
+} // namespace
+} // namespace heterogen::cir

@@ -1,0 +1,167 @@
+/** @file Unit tests for the support library. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace heterogen {
+namespace {
+
+TEST(Strings, ContainsAndCase)
+{
+    EXPECT_TRUE(contains("recursive functions are not supported",
+                         "recursive"));
+    EXPECT_FALSE(contains("abc", "abd"));
+    EXPECT_TRUE(containsIgnoreCase("ERROR: Dataflow", "dataflow"));
+    EXPECT_TRUE(containsIgnoreCase("StRuCt", "struct"));
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("#pragma HLS unroll", "#pragma"));
+    EXPECT_FALSE(startsWith("x#pragma", "#pragma"));
+    EXPECT_TRUE(endsWith("kernel.c", ".c"));
+    EXPECT_FALSE(endsWith(".c", "kernel.c"));
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitTrailingDelimiter)
+{
+    auto parts = split("a,b,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, TrimAndLower)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(toLower("HLS Unroll"), "hls unroll");
+}
+
+TEST(Strings, JoinAndCountLines)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(countLines(""), 0);
+    EXPECT_EQ(countLines("one"), 1);
+    EXPECT_EQ(countLines("one\ntwo\n"), 2);
+    EXPECT_EQ(countLines("one\ntwo\nthree"), 3);
+}
+
+TEST(Diagnostics, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad thing: ", 42), FatalError);
+    try {
+        fatal("value=", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+TEST(Diagnostics, SourceLocFormatting)
+{
+    SourceLoc loc{12, 5};
+    EXPECT_EQ(loc.str(), "12:5");
+    EXPECT_TRUE(loc.valid());
+    EXPECT_FALSE(SourceLoc{}.valid());
+    EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u) << "all values of a small range reachable";
+}
+
+TEST(Rng, UnitInHalfOpenInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(13);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+class RngChanceTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RngChanceTest, EmpiricalRateTracksProbability)
+{
+    const double p = GetParam();
+    Rng r(101);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(p) ? 1 : 0;
+    double rate = static_cast<double>(hits) / n;
+    EXPECT_NEAR(rate, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RngChanceTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+} // namespace
+} // namespace heterogen
