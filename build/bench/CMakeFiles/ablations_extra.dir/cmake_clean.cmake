@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablations_extra.dir/ablations_extra.cc.o"
+  "CMakeFiles/ablations_extra.dir/ablations_extra.cc.o.d"
+  "ablations_extra"
+  "ablations_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablations_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_error_study.dir/fig3_error_study.cc.o"
+  "CMakeFiles/fig3_error_study.dir/fig3_error_study.cc.o.d"
+  "fig3_error_study"
+  "fig3_error_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_error_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

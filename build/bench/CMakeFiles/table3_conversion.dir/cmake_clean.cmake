@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_conversion.dir/table3_conversion.cc.o"
+  "CMakeFiles/table3_conversion.dir/table3_conversion.cc.o.d"
+  "table3_conversion"
+  "table3_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_testgen.dir/table4_testgen.cc.o"
+  "CMakeFiles/table4_testgen.dir/table4_testgen.cc.o.d"
+  "table4_testgen"
+  "table4_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

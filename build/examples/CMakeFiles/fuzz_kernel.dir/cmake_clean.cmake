@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_kernel.dir/fuzz_kernel.cpp.o"
+  "CMakeFiles/fuzz_kernel.dir/fuzz_kernel.cpp.o.d"
+  "fuzz_kernel"
+  "fuzz_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_explore.dir/repair_explore.cpp.o"
+  "CMakeFiles/repair_explore.dir/repair_explore.cpp.o.d"
+  "repair_explore"
+  "repair_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

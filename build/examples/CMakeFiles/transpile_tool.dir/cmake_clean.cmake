@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpile_tool.dir/transpile_tool.cpp.o"
+  "CMakeFiles/transpile_tool.dir/transpile_tool.cpp.o.d"
+  "transpile_tool"
+  "transpile_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpile_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cir/ast.cc" "src/cir/CMakeFiles/hg_cir.dir/ast.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/ast.cc.o.d"
+  "/root/repo/src/cir/lexer.cc" "src/cir/CMakeFiles/hg_cir.dir/lexer.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/lexer.cc.o.d"
+  "/root/repo/src/cir/parser.cc" "src/cir/CMakeFiles/hg_cir.dir/parser.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/parser.cc.o.d"
+  "/root/repo/src/cir/printer.cc" "src/cir/CMakeFiles/hg_cir.dir/printer.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/printer.cc.o.d"
+  "/root/repo/src/cir/sema.cc" "src/cir/CMakeFiles/hg_cir.dir/sema.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/sema.cc.o.d"
+  "/root/repo/src/cir/type.cc" "src/cir/CMakeFiles/hg_cir.dir/type.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/type.cc.o.d"
+  "/root/repo/src/cir/walk.cc" "src/cir/CMakeFiles/hg_cir.dir/walk.cc.o" "gcc" "src/cir/CMakeFiles/hg_cir.dir/walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_cir.dir/ast.cc.o"
+  "CMakeFiles/hg_cir.dir/ast.cc.o.d"
+  "CMakeFiles/hg_cir.dir/lexer.cc.o"
+  "CMakeFiles/hg_cir.dir/lexer.cc.o.d"
+  "CMakeFiles/hg_cir.dir/parser.cc.o"
+  "CMakeFiles/hg_cir.dir/parser.cc.o.d"
+  "CMakeFiles/hg_cir.dir/printer.cc.o"
+  "CMakeFiles/hg_cir.dir/printer.cc.o.d"
+  "CMakeFiles/hg_cir.dir/sema.cc.o"
+  "CMakeFiles/hg_cir.dir/sema.cc.o.d"
+  "CMakeFiles/hg_cir.dir/type.cc.o"
+  "CMakeFiles/hg_cir.dir/type.cc.o.d"
+  "CMakeFiles/hg_cir.dir/walk.cc.o"
+  "CMakeFiles/hg_cir.dir/walk.cc.o.d"
+  "libhg_cir.a"
+  "libhg_cir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_core.dir/baselines.cc.o"
+  "CMakeFiles/hg_core.dir/baselines.cc.o.d"
+  "CMakeFiles/hg_core.dir/heterogen.cc.o"
+  "CMakeFiles/hg_core.dir/heterogen.cc.o.d"
+  "libhg_core.a"
+  "libhg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/fuzzer.cc" "src/fuzz/CMakeFiles/hg_fuzz.dir/fuzzer.cc.o" "gcc" "src/fuzz/CMakeFiles/hg_fuzz.dir/fuzzer.cc.o.d"
+  "/root/repo/src/fuzz/mutator.cc" "src/fuzz/CMakeFiles/hg_fuzz.dir/mutator.cc.o" "gcc" "src/fuzz/CMakeFiles/hg_fuzz.dir/mutator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/hg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/hg_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/hg_fuzz.dir/fuzzer.cc.o.d"
+  "CMakeFiles/hg_fuzz.dir/mutator.cc.o"
+  "CMakeFiles/hg_fuzz.dir/mutator.cc.o.d"
+  "libhg_fuzz.a"
+  "libhg_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

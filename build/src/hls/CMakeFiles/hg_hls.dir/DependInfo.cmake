@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/compiler.cc" "src/hls/CMakeFiles/hg_hls.dir/compiler.cc.o" "gcc" "src/hls/CMakeFiles/hg_hls.dir/compiler.cc.o.d"
+  "/root/repo/src/hls/config.cc" "src/hls/CMakeFiles/hg_hls.dir/config.cc.o" "gcc" "src/hls/CMakeFiles/hg_hls.dir/config.cc.o.d"
+  "/root/repo/src/hls/errors.cc" "src/hls/CMakeFiles/hg_hls.dir/errors.cc.o" "gcc" "src/hls/CMakeFiles/hg_hls.dir/errors.cc.o.d"
+  "/root/repo/src/hls/fpga_model.cc" "src/hls/CMakeFiles/hg_hls.dir/fpga_model.cc.o" "gcc" "src/hls/CMakeFiles/hg_hls.dir/fpga_model.cc.o.d"
+  "/root/repo/src/hls/resource.cc" "src/hls/CMakeFiles/hg_hls.dir/resource.cc.o" "gcc" "src/hls/CMakeFiles/hg_hls.dir/resource.cc.o.d"
+  "/root/repo/src/hls/synth_check.cc" "src/hls/CMakeFiles/hg_hls.dir/synth_check.cc.o" "gcc" "src/hls/CMakeFiles/hg_hls.dir/synth_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/hg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/hg_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

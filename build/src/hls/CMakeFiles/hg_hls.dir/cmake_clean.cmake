@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_hls.dir/compiler.cc.o"
+  "CMakeFiles/hg_hls.dir/compiler.cc.o.d"
+  "CMakeFiles/hg_hls.dir/config.cc.o"
+  "CMakeFiles/hg_hls.dir/config.cc.o.d"
+  "CMakeFiles/hg_hls.dir/errors.cc.o"
+  "CMakeFiles/hg_hls.dir/errors.cc.o.d"
+  "CMakeFiles/hg_hls.dir/fpga_model.cc.o"
+  "CMakeFiles/hg_hls.dir/fpga_model.cc.o.d"
+  "CMakeFiles/hg_hls.dir/resource.cc.o"
+  "CMakeFiles/hg_hls.dir/resource.cc.o.d"
+  "CMakeFiles/hg_hls.dir/synth_check.cc.o"
+  "CMakeFiles/hg_hls.dir/synth_check.cc.o.d"
+  "libhg_hls.a"
+  "libhg_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_interp.dir/interp.cc.o"
+  "CMakeFiles/hg_interp.dir/interp.cc.o.d"
+  "CMakeFiles/hg_interp.dir/kernel_arg.cc.o"
+  "CMakeFiles/hg_interp.dir/kernel_arg.cc.o.d"
+  "CMakeFiles/hg_interp.dir/memory.cc.o"
+  "CMakeFiles/hg_interp.dir/memory.cc.o.d"
+  "CMakeFiles/hg_interp.dir/value.cc.o"
+  "CMakeFiles/hg_interp.dir/value.cc.o.d"
+  "libhg_interp.a"
+  "libhg_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

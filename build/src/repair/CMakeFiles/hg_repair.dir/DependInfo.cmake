@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/diffstat.cc" "src/repair/CMakeFiles/hg_repair.dir/diffstat.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/diffstat.cc.o.d"
+  "/root/repo/src/repair/difftest.cc" "src/repair/CMakeFiles/hg_repair.dir/difftest.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/difftest.cc.o.d"
+  "/root/repo/src/repair/edits.cc" "src/repair/CMakeFiles/hg_repair.dir/edits.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/edits.cc.o.d"
+  "/root/repo/src/repair/localizer.cc" "src/repair/CMakeFiles/hg_repair.dir/localizer.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/localizer.cc.o.d"
+  "/root/repo/src/repair/search.cc" "src/repair/CMakeFiles/hg_repair.dir/search.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/search.cc.o.d"
+  "/root/repo/src/repair/xform_arena.cc" "src/repair/CMakeFiles/hg_repair.dir/xform_arena.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/xform_arena.cc.o.d"
+  "/root/repo/src/repair/xform_config.cc" "src/repair/CMakeFiles/hg_repair.dir/xform_config.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/xform_config.cc.o.d"
+  "/root/repo/src/repair/xform_pragmas.cc" "src/repair/CMakeFiles/hg_repair.dir/xform_pragmas.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/xform_pragmas.cc.o.d"
+  "/root/repo/src/repair/xform_stack.cc" "src/repair/CMakeFiles/hg_repair.dir/xform_stack.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/xform_stack.cc.o.d"
+  "/root/repo/src/repair/xform_structs.cc" "src/repair/CMakeFiles/hg_repair.dir/xform_structs.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/xform_structs.cc.o.d"
+  "/root/repo/src/repair/xform_types.cc" "src/repair/CMakeFiles/hg_repair.dir/xform_types.cc.o" "gcc" "src/repair/CMakeFiles/hg_repair.dir/xform_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stylecheck/CMakeFiles/hg_stylecheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/hg_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hg_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/hg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/hg_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

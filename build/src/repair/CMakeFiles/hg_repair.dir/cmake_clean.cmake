@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_repair.dir/diffstat.cc.o"
+  "CMakeFiles/hg_repair.dir/diffstat.cc.o.d"
+  "CMakeFiles/hg_repair.dir/difftest.cc.o"
+  "CMakeFiles/hg_repair.dir/difftest.cc.o.d"
+  "CMakeFiles/hg_repair.dir/edits.cc.o"
+  "CMakeFiles/hg_repair.dir/edits.cc.o.d"
+  "CMakeFiles/hg_repair.dir/localizer.cc.o"
+  "CMakeFiles/hg_repair.dir/localizer.cc.o.d"
+  "CMakeFiles/hg_repair.dir/search.cc.o"
+  "CMakeFiles/hg_repair.dir/search.cc.o.d"
+  "CMakeFiles/hg_repair.dir/xform_arena.cc.o"
+  "CMakeFiles/hg_repair.dir/xform_arena.cc.o.d"
+  "CMakeFiles/hg_repair.dir/xform_config.cc.o"
+  "CMakeFiles/hg_repair.dir/xform_config.cc.o.d"
+  "CMakeFiles/hg_repair.dir/xform_pragmas.cc.o"
+  "CMakeFiles/hg_repair.dir/xform_pragmas.cc.o.d"
+  "CMakeFiles/hg_repair.dir/xform_stack.cc.o"
+  "CMakeFiles/hg_repair.dir/xform_stack.cc.o.d"
+  "CMakeFiles/hg_repair.dir/xform_structs.cc.o"
+  "CMakeFiles/hg_repair.dir/xform_structs.cc.o.d"
+  "CMakeFiles/hg_repair.dir/xform_types.cc.o"
+  "CMakeFiles/hg_repair.dir/xform_types.cc.o.d"
+  "libhg_repair.a"
+  "libhg_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_stylecheck.dir/stylecheck.cc.o"
+  "CMakeFiles/hg_stylecheck.dir/stylecheck.cc.o.d"
+  "libhg_stylecheck.a"
+  "libhg_stylecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_stylecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

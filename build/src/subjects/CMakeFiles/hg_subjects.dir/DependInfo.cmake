@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subjects/forum_corpus.cc" "src/subjects/CMakeFiles/hg_subjects.dir/forum_corpus.cc.o" "gcc" "src/subjects/CMakeFiles/hg_subjects.dir/forum_corpus.cc.o.d"
+  "/root/repo/src/subjects/subjects.cc" "src/subjects/CMakeFiles/hg_subjects.dir/subjects.cc.o" "gcc" "src/subjects/CMakeFiles/hg_subjects.dir/subjects.cc.o.d"
+  "/root/repo/src/subjects/subjects_p1_p5.cc" "src/subjects/CMakeFiles/hg_subjects.dir/subjects_p1_p5.cc.o" "gcc" "src/subjects/CMakeFiles/hg_subjects.dir/subjects_p1_p5.cc.o.d"
+  "/root/repo/src/subjects/subjects_p6_p10.cc" "src/subjects/CMakeFiles/hg_subjects.dir/subjects_p6_p10.cc.o" "gcc" "src/subjects/CMakeFiles/hg_subjects.dir/subjects_p6_p10.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/hg_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/hg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/hg_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

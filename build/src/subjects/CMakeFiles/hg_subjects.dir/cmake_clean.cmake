@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_subjects.dir/forum_corpus.cc.o"
+  "CMakeFiles/hg_subjects.dir/forum_corpus.cc.o.d"
+  "CMakeFiles/hg_subjects.dir/subjects.cc.o"
+  "CMakeFiles/hg_subjects.dir/subjects.cc.o.d"
+  "CMakeFiles/hg_subjects.dir/subjects_p1_p5.cc.o"
+  "CMakeFiles/hg_subjects.dir/subjects_p1_p5.cc.o.d"
+  "CMakeFiles/hg_subjects.dir/subjects_p6_p10.cc.o"
+  "CMakeFiles/hg_subjects.dir/subjects_p6_p10.cc.o.d"
+  "libhg_subjects.a"
+  "libhg_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

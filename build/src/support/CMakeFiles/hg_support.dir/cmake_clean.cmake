@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_support.dir/diagnostics.cc.o"
+  "CMakeFiles/hg_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/hg_support.dir/rng.cc.o"
+  "CMakeFiles/hg_support.dir/rng.cc.o.d"
+  "CMakeFiles/hg_support.dir/strings.cc.o"
+  "CMakeFiles/hg_support.dir/strings.cc.o.d"
+  "libhg_support.a"
+  "libhg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_model.dir/test_fpga_model.cc.o"
+  "CMakeFiles/test_fpga_model.dir/test_fpga_model.cc.o.d"
+  "test_fpga_model"
+  "test_fpga_model.pdb"
+  "test_fpga_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/test_parser.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/test_parser.dir/test_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/CMakeFiles/hg_subjects.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/hg_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/hg_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hg_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/stylecheck/CMakeFiles/hg_stylecheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/hg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/hg_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

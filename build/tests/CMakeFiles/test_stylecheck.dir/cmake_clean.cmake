@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stylecheck.dir/test_stylecheck.cc.o"
+  "CMakeFiles/test_stylecheck.dir/test_stylecheck.cc.o.d"
+  "test_stylecheck"
+  "test_stylecheck.pdb"
+  "test_stylecheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stylecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subjects.dir/test_subjects.cc.o"
+  "CMakeFiles/test_subjects.dir/test_subjects.cc.o.d"
+  "test_subjects"
+  "test_subjects.pdb"
+  "test_subjects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
