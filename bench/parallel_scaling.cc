@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parallel candidate-evaluation scaling: differential-testing throughput
+ * versus worker count, plus the candidate-memo hit rate, on one subject.
+ *
+ * The campaign cost model charges the critical path of round-robin test
+ * assignment across N co-simulation sessions, so throughput (tests per
+ * simulated minute) rises with N until the fixed session setup and the
+ * most loaded worker dominate. The host-side pool runs the same
+ * evaluation for real; results are byte-identical at every size (see
+ * tests/test_parallel.cc) — only the clocks move.
+ *
+ * Ends with one machine-readable JSON line for dashboard scraping.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "repair/difftest.h"
+#include "support/worker_pool.h"
+
+using namespace heterogen;
+
+int
+main()
+{
+    const subjects::Subject &subject = subjects::subjectById("P9");
+    std::printf("Parallel candidate evaluation, subject %s (%s)\n\n",
+                subject.id.c_str(), subject.name.c_str());
+
+    // One pipeline run supplies the repaired candidate the scaling sweep
+    // evaluates, and the search's memo counters.
+    core::HeteroGen engine(subject.source);
+    auto report = engine.run(bench::standardOptions(subject));
+    const auto &memo = report.search.memo;
+    const int tests = int(report.testgen.suite.size());
+    std::printf("repair: compatible=%s  suite=%d tests  memo: %d hits / "
+                "%d misses (hit rate %.0f%%)\n\n",
+                bench::mark(report.ok()), tests, memo.hits(),
+                memo.misses(), memo.hitRate() * 100.0);
+
+    const int kJobs[] = {1, 2, 4, 8};
+    double throughput[4] = {0};
+    double sim_minutes[4] = {0};
+
+    std::printf("%-8s %12s %14s %9s %10s\n", "workers", "sim(min)",
+                "tests/simmin", "speedup", "wall(ms)");
+    for (int j = 0; j < 4; ++j) {
+        WorkerPool pool(kJobs[j]);
+        repair::DiffTestOptions opts;
+        opts.sim_workers = kJobs[j];
+        opts.pool = &pool;
+        auto start = std::chrono::steady_clock::now();
+        auto result = repair::diffTest(engine.program(), subject.kernel,
+                                       *report.search.program,
+                                       report.search.config,
+                                       report.testgen.suite, opts);
+        double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        sim_minutes[j] = result.sim_minutes;
+        throughput[j] = tests / result.sim_minutes;
+        std::printf("%-8d %12.4f %14.1f %8.2fx %10.1f\n", kJobs[j],
+                    sim_minutes[j], throughput[j],
+                    sim_minutes[0] / sim_minutes[j], wall_ms);
+    }
+
+    std::printf("\n{\"bench\":\"parallel_scaling\",\"subject\":\"%s\","
+                "\"tests\":%d,"
+                "\"throughput_per_simmin\":{\"1\":%.1f,\"2\":%.1f,"
+                "\"4\":%.1f,\"8\":%.1f},"
+                "\"speedup_4\":%.2f,"
+                "\"memo_hits\":%d,\"memo_misses\":%d,"
+                "\"memo_hit_rate\":%.3f}\n",
+                subject.id.c_str(), tests, throughput[0], throughput[1],
+                throughput[2], throughput[3],
+                sim_minutes[0] / sim_minutes[2], memo.hits(),
+                memo.misses(), memo.hitRate());
+    return 0;
+}

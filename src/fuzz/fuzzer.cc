@@ -3,6 +3,7 @@
 #include "cir/sema.h"
 #include "cir/walk.h"
 #include "support/diagnostics.h"
+#include "support/worker_pool.h"
 
 namespace heterogen::fuzz {
 
@@ -111,12 +112,16 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
     std::deque<std::vector<KernelArg>> queue;
     queue.push_back(seed);
 
-    auto execute = [&](const std::vector<KernelArg> &args) {
-        CoverageMap local(result.coverage.numBranches());
-        RunOptions opts;
-        opts.coverage = &local;
-        opts.max_steps = options.max_steps_per_run;
-        RunResult run = interp::runProgram(tu, kernel, args, opts);
+    WorkerPool pool(options.threads);
+
+    /**
+     * Corpus bookkeeping for one executed input, strictly in input
+     * order. The coverage decision (coversNew) depends on the corpus
+     * state left by earlier inputs, so this stays serial — only the
+     * kernel executions themselves fan out.
+     */
+    auto bookkeep = [&](const std::vector<KernelArg> &args,
+                        const CoverageMap &local, const RunResult &run) {
         result.executions += 1;
         result.sim_minutes += executionMinutes(run);
         if (result.coverage.coversNew(local)) {
@@ -127,6 +132,33 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
         } else if (static_cast<int>(result.suite.size()) <
                    options.min_suite_size) {
             result.suite.add(args);
+        }
+    };
+
+    /**
+     * Execute a batch of inputs: kernel runs fan out across the pool
+     * into private per-input coverage maps, then merge serially in
+     * input order with the serial loop's exact stop conditions — a
+     * budget or execution cap reached mid-batch discards the tail, so
+     * the outcome matches the one-at-a-time path byte for byte.
+     */
+    auto executeBatch = [&](const std::vector<std::vector<KernelArg>>
+                                &batch) {
+        std::vector<CoverageMap> locals(
+            batch.size(), CoverageMap(result.coverage.numBranches()));
+        std::vector<RunResult> runs(batch.size());
+        parallelForEach(&pool, batch.size(), [&](size_t i) {
+            RunOptions opts;
+            opts.coverage = &locals[i];
+            opts.max_steps = options.max_steps_per_run;
+            runs[i] = interp::runProgram(tu, kernel, batch[i], opts);
+        });
+        for (size_t i = 0; i < batch.size(); ++i) {
+            if (result.executions >= options.max_executions ||
+                result.sim_minutes >= options.budget_minutes) {
+                break; // speculative tail executions are not counted
+            }
+            bookkeep(batch[i], locals[i], runs[i]);
         }
     };
 
@@ -155,13 +187,7 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
         std::vector<KernelArg> input = queue.front();
         queue.pop_front();
         auto variants = mutator.mutate(input, options.mutations_per_input);
-        for (const auto &v : variants) {
-            if (result.executions >= options.max_executions ||
-                result.sim_minutes >= options.budget_minutes) {
-                break;
-            }
-            execute(v);
-        }
+        executeBatch(variants);
         // Keep cycling the corpus.
         queue.push_back(std::move(input));
     }

@@ -50,6 +50,14 @@ struct FuzzOptions
     int min_suite_size = 48;
     /** Interpreter step cap per execution. */
     uint64_t max_steps_per_run = 2'000'000;
+    /**
+     * Host threads executing each mutation batch (0 = HETEROGEN_JOBS /
+     * hardware default). Purely an execution detail: mutation drawing
+     * and corpus bookkeeping stay serial in input order, so the final
+     * corpus, coverage and simulated clock are byte-identical at any
+     * thread count (tests/test_parallel.cc asserts this).
+     */
+    int threads = 0;
 };
 
 /** Campaign outcome. */

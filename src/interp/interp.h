@@ -7,6 +7,15 @@
  * and a CPU cycle model used as the paper's "original C on CPU" latency
  * baseline. The same engine, driven through hls::FpgaSimulator, provides
  * functional FPGA co-simulation.
+ *
+ * Concurrency contract: the engine holds no mutable process-wide state —
+ * memory, frames, static-local stream bindings and the RNG-free step
+ * accounting all live per run — so any number of runs may execute
+ * concurrently over the same (const) TranslationUnit, provided the
+ * RunOptions output sinks (coverage/profile/captured_args) point at
+ * distinct objects per run. The parallel difftest and fuzzing batch
+ * layers rely on exactly this; tests/test_parallel.cc asserts the
+ * resulting thread-count invariance.
  */
 
 #ifndef HETEROGEN_INTERP_INTERP_H

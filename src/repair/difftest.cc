@@ -1,5 +1,7 @@
 #include "repair/difftest.h"
 
+#include <algorithm>
+
 #include "hls/fpga_model.h"
 #include "interp/interp.h"
 
@@ -8,6 +10,79 @@ namespace heterogen::repair {
 using interp::RunOptions;
 using interp::RunResult;
 
+namespace {
+
+/** Private outcome of one test, reduced in input order afterwards. */
+struct TestRecord
+{
+    bool identical = false;
+    uint64_t steps = 0;
+    double cpu_ms = 0;
+    double fpga_ms = 0;
+};
+
+} // namespace
+
+DiffTestResult
+diffTest(const cir::TranslationUnit &original,
+         const std::string &original_kernel,
+         const cir::TranslationUnit &candidate,
+         const hls::HlsConfig &config, const fuzz::TestSuite &suite,
+         const DiffTestOptions &options)
+{
+    DiffTestResult result;
+    int limit = options.max_tests > 0
+                    ? std::min<int>(options.max_tests, int(suite.size()))
+                    : int(suite.size());
+    result.total = limit;
+
+    // Map phase: every test is independent (fresh interpreter state per
+    // run), writes only its own record.
+    std::vector<TestRecord> records(static_cast<size_t>(limit));
+    parallelForEach(options.pool, records.size(), [&](size_t i) {
+        const fuzz::TestCase &test = suite[i];
+        TestRecord &rec = records[i];
+        RunOptions opts;
+        RunResult cpu = interp::runProgram(original, original_kernel,
+                                           test.args, opts);
+        hls::FpgaRunResult fpga = hls::simulateFpga(
+            candidate, config, config.top_function, test.args, opts);
+        rec.steps = cpu.steps + fpga.run.steps;
+        rec.cpu_ms = cpu.cpuMillis();
+        rec.fpga_ms = fpga.millis;
+        rec.identical = cpu.sameBehavior(fpga.run);
+    });
+
+    // Reduce phase, serial and in input order: float accumulation and
+    // the failing list come out identical at any pool size.
+    double cpu_total_ms = 0;
+    double fpga_total_ms = 0;
+    int sim_workers = std::max(options.sim_workers, 1);
+    std::vector<uint64_t> worker_steps(static_cast<size_t>(sim_workers),
+                                       0);
+    for (int i = 0; i < limit; ++i) {
+        const TestRecord &rec = records[i];
+        worker_steps[static_cast<size_t>(i % sim_workers)] += rec.steps;
+        cpu_total_ms += rec.cpu_ms;
+        fpga_total_ms += rec.fpga_ms;
+        if (rec.identical)
+            result.identical += 1;
+        else
+            result.failing.push_back(suite[i].id);
+    }
+    if (limit > 0) {
+        result.cpu_millis = cpu_total_ms / limit;
+        result.fpga_millis = fpga_total_ms / limit;
+    }
+    // One batched RTL co-simulation session per modeled worker, sharing
+    // the fixed setup; the campaign finishes with the critical path —
+    // the most loaded worker under round-robin test assignment.
+    uint64_t critical =
+        *std::max_element(worker_steps.begin(), worker_steps.end());
+    result.sim_minutes = 0.2 + double(critical) / 5.0e6;
+    return result;
+}
+
 DiffTestResult
 diffTest(const cir::TranslationUnit &original,
          const std::string &original_kernel,
@@ -15,39 +90,10 @@ diffTest(const cir::TranslationUnit &original,
          const hls::HlsConfig &config, const fuzz::TestSuite &suite,
          int max_tests)
 {
-    DiffTestResult result;
-    int limit = max_tests > 0
-                    ? std::min<int>(max_tests, int(suite.size()))
-                    : int(suite.size());
-    result.total = limit;
-
-    double cpu_total_ms = 0;
-    double fpga_total_ms = 0;
-    uint64_t total_steps = 0;
-
-    for (int i = 0; i < limit; ++i) {
-        const fuzz::TestCase &test = suite[i];
-        RunOptions opts;
-        RunResult cpu = interp::runProgram(original, original_kernel,
-                                           test.args, opts);
-        hls::FpgaRunResult fpga = hls::simulateFpga(
-            candidate, config, config.top_function, test.args, opts);
-        total_steps += cpu.steps + fpga.run.steps;
-        cpu_total_ms += cpu.cpuMillis();
-        fpga_total_ms += fpga.millis;
-        if (cpu.sameBehavior(fpga.run))
-            result.identical += 1;
-        else
-            result.failing.push_back(test.id);
-    }
-    if (limit > 0) {
-        result.cpu_millis = cpu_total_ms / limit;
-        result.fpga_millis = fpga_total_ms / limit;
-    }
-    // One batched RTL co-simulation session: fixed setup plus
-    // work-proportional simulation time.
-    result.sim_minutes = 0.2 + double(total_steps) / 5.0e6;
-    return result;
+    DiffTestOptions options;
+    options.max_tests = max_tests;
+    return diffTest(original, original_kernel, candidate, config, suite,
+                    options);
 }
 
 } // namespace heterogen::repair

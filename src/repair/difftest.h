@@ -2,6 +2,12 @@
  * @file
  * Differential testing: CPU (original) versus FPGA co-simulation
  * (candidate) over a generated test suite — HeteroGen's fitness oracle.
+ *
+ * Evaluation is embarrassingly parallel across test inputs: each test
+ * runs both sides in its own interpreter instance and writes a private
+ * per-test record; the records are then reduced serially in input
+ * order. Results are therefore byte-identical at any host thread
+ * count (tests/test_parallel.cc asserts this).
  */
 
 #ifndef HETEROGEN_REPAIR_DIFFTEST_H
@@ -13,8 +19,28 @@
 #include "cir/ast.h"
 #include "fuzz/testsuite.h"
 #include "hls/config.h"
+#include "support/worker_pool.h"
 
 namespace heterogen::repair {
+
+/** Knobs for one differential-testing campaign. */
+struct DiffTestOptions
+{
+    /** Cap on tests executed (0 = whole suite). */
+    int max_tests = 0;
+    /**
+     * Modeled parallel co-simulation sessions: the simulated campaign
+     * cost divides the per-test work round-robin across this many
+     * workers and charges the critical path. Part of the simulation
+     * model, so it changes sim_minutes — never pass/fail results.
+     */
+    int sim_workers = 1;
+    /**
+     * Pool executing the tests on the host (nullptr = serial). Purely
+     * an execution detail: results are invariant to the pool size.
+     */
+    WorkerPool *pool = nullptr;
+};
 
 /** Outcome of one differential-testing campaign. */
 struct DiffTestResult
@@ -50,8 +76,16 @@ struct DiffTestResult
  * @param candidate       the HLS candidate
  * @param config          toolchain config (top function, clock)
  * @param suite           generated + pre-existing tests
- * @param max_tests       cap on tests executed (0 = all)
+ * @param options         sampling cap, modeled workers, host pool
  */
+DiffTestResult diffTest(const cir::TranslationUnit &original,
+                        const std::string &original_kernel,
+                        const cir::TranslationUnit &candidate,
+                        const hls::HlsConfig &config,
+                        const fuzz::TestSuite &suite,
+                        const DiffTestOptions &options);
+
+/** Serial campaign over up to max_tests inputs (0 = all). */
 DiffTestResult diffTest(const cir::TranslationUnit &original,
                         const std::string &original_kernel,
                         const cir::TranslationUnit &candidate,

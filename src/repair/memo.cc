@@ -1,0 +1,69 @@
+#include "repair/memo.h"
+
+#include "cir/printer.h"
+
+namespace heterogen::repair {
+
+std::string
+candidateFingerprint(const cir::TranslationUnit &candidate,
+                     const hls::HlsConfig &config)
+{
+    // The printed text is the full syntactic identity; config fields are
+    // appended under a separator no printed program contains. Keys are
+    // exact — no hashing, so no collision can alias two candidates.
+    std::string key = cir::print(candidate);
+    key += '\x1f';
+    key += config.top_function;
+    key += '\x1f';
+    key += std::to_string(config.clock_mhz);
+    key += '\x1f';
+    key += config.device;
+    return key;
+}
+
+std::optional<hls::CompileResult>
+CandidateMemo::findCompile(const std::string &fingerprint)
+{
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end() && it->second.compile) {
+        stats_.compile_hits += 1;
+        return it->second.compile;
+    }
+    stats_.compile_misses += 1;
+    return std::nullopt;
+}
+
+void
+CandidateMemo::storeCompile(const std::string &fingerprint,
+                            const hls::CompileResult &result)
+{
+    entries_[fingerprint].compile = result;
+}
+
+std::optional<DiffTestResult>
+CandidateMemo::findDiffTest(const std::string &fingerprint)
+{
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end() && it->second.difftest) {
+        stats_.difftest_hits += 1;
+        return it->second.difftest;
+    }
+    stats_.difftest_misses += 1;
+    return std::nullopt;
+}
+
+void
+CandidateMemo::storeDiffTest(const std::string &fingerprint,
+                             const DiffTestResult &result)
+{
+    entries_[fingerprint].difftest = result;
+}
+
+void
+CandidateMemo::clear()
+{
+    entries_.clear();
+    stats_ = MemoStats{};
+}
+
+} // namespace heterogen::repair

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Memoization of candidate evaluations for the repair search.
+ *
+ * Backtracking makes the search revisit syntactically identical
+ * candidates (revert to a snapshot, take another branch, arrive at the
+ * same program again). Compiling and differentially testing such a
+ * revisit repeats the most expensive steps of the loop for an answer
+ * that is already known: both the simulated toolchain and the
+ * interpreter are deterministic functions of (printed program, config).
+ * The memo keys a candidate by exactly that pair and caches the compile
+ * and difftest outcomes separately, since a candidate that fails to
+ * compile never reaches difftesting.
+ */
+
+#ifndef HETEROGEN_REPAIR_MEMO_H
+#define HETEROGEN_REPAIR_MEMO_H
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cir/ast.h"
+#include "hls/compiler.h"
+#include "repair/difftest.h"
+
+namespace heterogen::repair {
+
+/**
+ * Stable identity of a candidate evaluation: the printed program plus
+ * every HlsConfig field that influences compilation or co-simulation.
+ * Two fingerprints compare equal iff the evaluations are interchangeable.
+ */
+std::string candidateFingerprint(const cir::TranslationUnit &candidate,
+                                 const hls::HlsConfig &config);
+
+/** Hit/miss counters of one memo (mirrored into SearchResult). */
+struct MemoStats
+{
+    int compile_hits = 0;
+    int compile_misses = 0;
+    int difftest_hits = 0;
+    int difftest_misses = 0;
+
+    int hits() const { return compile_hits + difftest_hits; }
+    int misses() const { return compile_misses + difftest_misses; }
+
+    /** Fraction of lookups answered from cache, in [0,1]. */
+    double
+    hitRate() const
+    {
+        int lookups = hits() + misses();
+        return lookups == 0 ? 0.0 : double(hits()) / double(lookups);
+    }
+};
+
+/** Cache of candidate evaluations keyed by candidateFingerprint(). */
+class CandidateMemo
+{
+  public:
+    /**
+     * Cached compile outcome for the fingerprint, or nullopt on miss.
+     * Counts one hit or miss.
+     */
+    std::optional<hls::CompileResult>
+    findCompile(const std::string &fingerprint);
+
+    /** Record the compile outcome for the fingerprint. */
+    void storeCompile(const std::string &fingerprint,
+                      const hls::CompileResult &result);
+
+    /** Cached difftest outcome, or nullopt on miss. Counts the lookup. */
+    std::optional<DiffTestResult>
+    findDiffTest(const std::string &fingerprint);
+
+    /** Record the difftest outcome for the fingerprint. */
+    void storeDiffTest(const std::string &fingerprint,
+                       const DiffTestResult &result);
+
+    const MemoStats &stats() const { return stats_; }
+    size_t size() const { return entries_.size(); }
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::optional<hls::CompileResult> compile;
+        std::optional<DiffTestResult> difftest;
+    };
+
+    std::unordered_map<std::string, Entry> entries_;
+    MemoStats stats_;
+};
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_MEMO_H

@@ -5,9 +5,11 @@
 #include "hls/compiler.h"
 #include "repair/difftest.h"
 #include "repair/localizer.h"
+#include "repair/memo.h"
 #include "repair/transforms.h"
 #include "stylecheck/stylecheck.h"
 #include "support/diagnostics.h"
+#include "support/worker_pool.h"
 
 namespace heterogen::repair {
 
@@ -42,7 +44,8 @@ class Search
            const interp::ValueProfile &profile,
            const SearchOptions &options)
         : original_(original), kernel_(kernel), suite_(suite),
-          profile_(profile), options_(options), rng_(options.rng_seed)
+          profile_(profile), options_(options), rng_(options.rng_seed),
+          pool_(options.eval_threads)
     {
         cand_ = broken.clone();
         config_ = config;
@@ -59,12 +62,7 @@ class Search
             if (options_.use_style_checker && !styleGate())
                 continue;
 
-            hls::HlsToolchain tool(config_);
-            hls::CompileResult compiled = tool.compile(*cand_);
-            result_.sim_minutes += compiled.synth_minutes;
-            result_.full_hls_invocations += 1;
-            note("compile:" +
-                 std::string(compiled.ok ? "ok" : "errors"));
+            hls::CompileResult compiled = compileCandidate();
             if (!compiled.ok) {
                 if (!repairStep(compiled.errors)) {
                     if (!backtrack())
@@ -73,10 +71,7 @@ class Search
                 continue;
             }
 
-            DiffTestResult fitness =
-                diffTest(original_, kernel_, *cand_, config_, suite_,
-                         options_.difftest_sample);
-            result_.sim_minutes += fitness.sim_minutes;
+            DiffTestResult fitness = difftestCandidate();
             note("difftest:" + std::to_string(fitness.identical) + "/" +
                  std::to_string(fitness.total));
             if (fitness.allIdentical()) {
@@ -100,6 +95,54 @@ class Search
     {
         result_.trace.push_back({result_.iterations, std::move(action),
                                  result_.sim_minutes});
+    }
+
+    // --- memoized candidate evaluation ------------------------------------
+
+    /**
+     * Compile the candidate, answering identical revisits from the memo
+     * (no toolchain invocation, no synthesis minutes). Remembers the
+     * fingerprint so difftestCandidate() reuses it.
+     */
+    hls::CompileResult
+    compileCandidate()
+    {
+        if (options_.use_memo) {
+            fingerprint_ = candidateFingerprint(*cand_, config_);
+            if (auto hit = memo_.findCompile(fingerprint_)) {
+                note("compile:memo-" +
+                     std::string(hit->ok ? "ok" : "errors"));
+                return *hit;
+            }
+        }
+        hls::HlsToolchain tool(config_);
+        hls::CompileResult compiled = tool.compile(*cand_);
+        result_.sim_minutes += compiled.synth_minutes;
+        result_.full_hls_invocations += 1;
+        note("compile:" + std::string(compiled.ok ? "ok" : "errors"));
+        if (options_.use_memo)
+            memo_.storeCompile(fingerprint_, compiled);
+        return compiled;
+    }
+
+    /** Difftest the candidate, answering identical revisits from memo. */
+    DiffTestResult
+    difftestCandidate()
+    {
+        if (options_.use_memo) {
+            if (auto hit = memo_.findDiffTest(fingerprint_))
+                return *hit;
+        }
+        DiffTestOptions dt;
+        dt.max_tests = options_.difftest_sample;
+        dt.sim_workers = options_.difftest_sim_workers;
+        dt.pool = &pool_;
+        DiffTestResult fitness = diffTest(original_, kernel_, *cand_,
+                                          config_, suite_, dt);
+        result_.sim_minutes += fitness.sim_minutes;
+        if (options_.use_memo)
+            memo_.storeDiffTest(fingerprint_, fitness);
+        return fitness;
     }
 
     // --- style gate -----------------------------------------------------------
@@ -359,6 +402,7 @@ class Search
         }
         result_.diff = diffLines(cir::print(original_),
                                  cir::print(*result_.program));
+        result_.memo = memo_.stats();
         if (!result_.hls_compatible)
             result_.minutes_to_success = result_.sim_minutes;
     }
@@ -369,6 +413,10 @@ class Search
     const interp::ValueProfile &profile_;
     SearchOptions options_;
     Rng rng_;
+    WorkerPool pool_;
+    CandidateMemo memo_;
+    /** Fingerprint of cand_ as of the last compileCandidate(). */
+    std::string fingerprint_;
 
     TuPtr cand_;
     hls::HlsConfig config_;

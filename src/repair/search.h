@@ -25,6 +25,7 @@
 #include "interp/profile.h"
 #include "repair/diffstat.h"
 #include "repair/edit.h"
+#include "repair/memo.h"
 
 namespace heterogen::repair {
 
@@ -42,6 +43,24 @@ struct SearchOptions
     uint64_t rng_seed = 7;
     /** Tests evaluated per fitness check (0 = whole suite). */
     int difftest_sample = 24;
+    /**
+     * Modeled parallel co-simulation sessions per fitness check; >1
+     * shortens the simulated difftest cost to its critical path (the
+     * budget then buys more search iterations).
+     */
+    int difftest_sim_workers = 1;
+    /**
+     * Host threads evaluating candidates (0 = HETEROGEN_JOBS / hardware
+     * default). Execution detail only — results are thread-invariant.
+     */
+    int eval_threads = 0;
+    /**
+     * Memoize candidate evaluations: a candidate whose printed text and
+     * config were already compiled or difftested reuses the recorded
+     * outcome instead of re-invoking the toolchain (backtracking
+     * revisits make this common).
+     */
+    bool use_memo = true;
     /**
      * When non-empty, only these templates may be applied — the
      * HeteroRefactor baseline restricts to the dynamic-data-structure
@@ -86,6 +105,8 @@ struct SearchResult
     int full_hls_invocations = 0;
     int style_checks = 0;
     int style_rejections = 0;
+    /** Candidate-memo counters (hits avoided toolchain/difftest work). */
+    MemoStats memo;
 
     std::vector<std::string> applied_order;
     DiffStat diff;

@@ -1,5 +1,6 @@
 #include "support/diagnostics.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -7,7 +8,11 @@ namespace heterogen {
 
 namespace {
 
-LogLevel g_min_level = LogLevel::Warn;
+// The only mutable process-wide state in the support layer. Atomic so
+// worker threads (difftest/fuzz evaluation) can log while another
+// thread adjusts verbosity without a data race; message bytes still
+// interleave per ostream semantics, which is acceptable for logs.
+std::atomic<LogLevel> g_min_level{LogLevel::Warn};
 
 const char *
 levelName(LogLevel level)
@@ -40,7 +45,8 @@ namespace detail {
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_min_level))
+    if (static_cast<int>(level) <
+        static_cast<int>(g_min_level.load(std::memory_order_relaxed)))
         return;
     std::cerr << "[" << levelName(level) << "] " << msg << "\n";
 }

@@ -1,0 +1,117 @@
+#include "support/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace heterogen {
+
+int
+resolveJobs(int requested)
+{
+    if (requested >= 1)
+        return requested;
+    if (const char *env = std::getenv("HETEROGEN_JOBS")) {
+        char *end = nullptr;
+        long n = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && n >= 1 && n <= 1024)
+            return static_cast<int>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+WorkerPool::WorkerPool(int threads, size_t queue_capacity)
+    : capacity_(std::max<size_t>(queue_capacity, 1))
+{
+    int n = resolveJobs(threads);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    job_ready_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        job_space_.wait(lock,
+                        [this] { return queue_.size() < capacity_; });
+        queue_.push_back(std::move(job));
+        in_flight_ += 1;
+    }
+    job_ready_.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            job_ready_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown with a drained queue
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job_space_.notify_one();
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            in_flight_ -= 1;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+void
+parallelForEach(WorkerPool *pool, size_t n,
+                const std::function<void(size_t)> &fn)
+{
+    if (!pool || pool->threads() <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    // Every job runs to completion and the lowest-index exception wins,
+    // so reruns at any thread count surface the same error.
+    std::vector<std::exception_ptr> errors(n);
+    for (size_t i = 0; i < n; ++i) {
+        pool->submit([&, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool->wait();
+    for (size_t i = 0; i < n; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+}
+
+} // namespace heterogen

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-size worker pool with a bounded work queue.
+ *
+ * The pool executes opaque jobs on a fixed set of threads; submission
+ * blocks once the queue holds `queueCapacity()` pending jobs, so a fast
+ * producer cannot accumulate unbounded memory. parallelForEach() is the
+ * high-level entry the hot paths use: it fans N index-addressed jobs out
+ * over the pool and returns when all have finished, rethrowing the first
+ * job exception in submission order.
+ *
+ * Determinism contract: the pool itself never reorders *results* — jobs
+ * must write only to their own output slot (index i of a pre-sized
+ * vector). Callers then reduce the slots serially in input order, so any
+ * observable outcome is independent of the thread count. Every parallel
+ * consumer in the library (difftest, fuzz batches) follows this pattern
+ * and is covered by tests/test_parallel.cc.
+ */
+
+#ifndef HETEROGEN_SUPPORT_WORKER_POOL_H
+#define HETEROGEN_SUPPORT_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace heterogen {
+
+/**
+ * Resolve a thread-count request: n >= 1 is taken as-is; n <= 0 means
+ * "use the environment default" — the HETEROGEN_JOBS environment
+ * variable when set to a positive integer, else the hardware
+ * concurrency, else 1.
+ */
+int resolveJobs(int requested);
+
+/** A fixed set of worker threads draining a bounded job queue. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads  worker count; <= 0 resolves via resolveJobs().
+     *                 A pool of one thread still runs jobs on that
+     *                 worker, never inline on the submitting thread.
+     * @param queue_capacity  max pending (not yet started) jobs before
+     *                        submit() blocks.
+     */
+    explicit WorkerPool(int threads = 0, size_t queue_capacity = 256);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue one job; blocks while the queue is full. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+    size_t queueCapacity() const { return capacity_; }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    size_t capacity_;
+    size_t in_flight_ = 0; ///< queued + currently executing
+    bool shutdown_ = false;
+    std::mutex mu_;
+    std::condition_variable job_ready_;  ///< workers: queue non-empty
+    std::condition_variable job_space_;  ///< producers: queue has room
+    std::condition_variable all_done_;   ///< wait(): in_flight == 0
+};
+
+/**
+ * Run fn(0) .. fn(n-1) across the pool and wait for completion.
+ *
+ * fn must confine its writes to per-index state; the first exception
+ * (lowest index) is rethrown on the calling thread after all jobs
+ * finish. With a null pool, runs serially inline.
+ */
+void parallelForEach(WorkerPool *pool, size_t n,
+                     const std::function<void(size_t)> &fn);
+
+} // namespace heterogen
+
+#endif // HETEROGEN_SUPPORT_WORKER_POOL_H

@@ -1,0 +1,226 @@
+/** @file Candidate-memo tests: fingerprint sensitivity, cache hits on
+ * revisits, and exact hit/miss accounting in SearchResult. */
+
+#include <gtest/gtest.h>
+
+#include "cir/parser.h"
+#include "cir/printer.h"
+#include "cir/sema.h"
+#include "core/heterogen.h"
+#include "repair/memo.h"
+#include "support/strings.h"
+
+namespace heterogen::repair {
+namespace {
+
+cir::TuPtr
+program(const std::string &src)
+{
+    auto tu = cir::parse(src);
+    cir::analyzeOrDie(*tu);
+    return tu;
+}
+
+// --- fingerprints --------------------------------------------------------
+
+TEST(CandidateFingerprint, IdenticalProgramsAgree)
+{
+    auto a = program("int kernel(int x) { return x + 1; }");
+    auto b = program("int kernel(int x) { return x + 1; }");
+    hls::HlsConfig config = hls::HlsConfig::forTop("kernel");
+    EXPECT_EQ(candidateFingerprint(*a, config),
+              candidateFingerprint(*b, config));
+    EXPECT_EQ(candidateFingerprint(*a, config),
+              candidateFingerprint(*a->clone(), config));
+}
+
+TEST(CandidateFingerprint, OneTokenChangeMisses)
+{
+    auto a = program("int kernel(int x) { return x + 1; }");
+    auto b = program("int kernel(int x) { return x + 2; }");
+    hls::HlsConfig config = hls::HlsConfig::forTop("kernel");
+    EXPECT_NE(candidateFingerprint(*a, config),
+              candidateFingerprint(*b, config));
+}
+
+TEST(CandidateFingerprint, ConfigChangeMisses)
+{
+    auto tu = program("int kernel(int x) { return x + 1; }");
+    hls::HlsConfig base = hls::HlsConfig::forTop("kernel");
+
+    hls::HlsConfig other_top = base;
+    other_top.top_function = "main";
+    EXPECT_NE(candidateFingerprint(*tu, base),
+              candidateFingerprint(*tu, other_top));
+
+    hls::HlsConfig other_clock = base;
+    other_clock.clock_mhz = 300.0;
+    EXPECT_NE(candidateFingerprint(*tu, base),
+              candidateFingerprint(*tu, other_clock));
+
+    hls::HlsConfig other_device = base;
+    other_device.device = "xc7z020";
+    EXPECT_NE(candidateFingerprint(*tu, base),
+              candidateFingerprint(*tu, other_device));
+}
+
+// --- the memo itself -----------------------------------------------------
+
+TEST(CandidateMemo, CompileRoundTripWithExactCounters)
+{
+    CandidateMemo memo;
+    hls::CompileResult compiled;
+    compiled.ok = true;
+    compiled.synth_minutes = 12.5;
+    compiled.loc = 42;
+
+    EXPECT_FALSE(memo.findCompile("fp-a").has_value());
+    memo.storeCompile("fp-a", compiled);
+    auto hit = memo.findCompile("fp-a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->ok);
+    EXPECT_DOUBLE_EQ(hit->synth_minutes, 12.5);
+    EXPECT_EQ(hit->loc, 42);
+    EXPECT_FALSE(memo.findCompile("fp-b").has_value());
+
+    EXPECT_EQ(memo.stats().compile_hits, 1);
+    EXPECT_EQ(memo.stats().compile_misses, 2);
+    EXPECT_EQ(memo.stats().hits(), 1);
+    EXPECT_EQ(memo.stats().misses(), 2);
+    EXPECT_DOUBLE_EQ(memo.stats().hitRate(), 1.0 / 3.0);
+}
+
+TEST(CandidateMemo, DifftestRoundTripWithExactCounters)
+{
+    CandidateMemo memo;
+    DiffTestResult fitness;
+    fitness.total = 10;
+    fitness.identical = 9;
+    fitness.failing = {4};
+    fitness.sim_minutes = 1.25;
+
+    EXPECT_FALSE(memo.findDiffTest("fp-a").has_value());
+    memo.storeDiffTest("fp-a", fitness);
+    auto hit = memo.findDiffTest("fp-a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->identical, 9);
+    EXPECT_EQ(hit->failing, std::vector<int>{4});
+
+    EXPECT_EQ(memo.stats().difftest_hits, 1);
+    EXPECT_EQ(memo.stats().difftest_misses, 1);
+}
+
+TEST(CandidateMemo, CompileAndDifftestAreIndependentSlots)
+{
+    CandidateMemo memo;
+    hls::CompileResult compiled;
+    compiled.ok = true;
+    memo.storeCompile("fp", compiled);
+    // The same fingerprint has a compile outcome but no difftest yet.
+    EXPECT_TRUE(memo.findCompile("fp").has_value());
+    EXPECT_FALSE(memo.findDiffTest("fp").has_value());
+    EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(CandidateMemo, ClearResetsEntriesAndStats)
+{
+    CandidateMemo memo;
+    memo.storeCompile("fp", hls::CompileResult{});
+    (void)memo.findCompile("fp");
+    memo.clear();
+    EXPECT_EQ(memo.size(), 0u);
+    EXPECT_EQ(memo.stats().hits(), 0);
+    EXPECT_EQ(memo.stats().misses(), 0);
+    EXPECT_FALSE(memo.findCompile("fp").has_value());
+}
+
+// --- memo inside the search ----------------------------------------------
+
+core::HeteroGenReport
+runPipeline(const std::string &src, bool use_memo)
+{
+    core::HeteroGen engine(src);
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.fuzz.max_executions = 400;
+    opts.fuzz.min_suite_size = 12;
+    opts.search.difftest_sample = 10;
+    opts.search.use_memo = use_memo;
+    return engine.run(opts);
+}
+
+/** A subject whose repair must backtrack: the duplicated-buffer fix for
+ * the dataflow-shared-array error changes behaviour, so the search
+ * reverts to an already-evaluated candidate. */
+const char *kBacktracking = R"(
+    void bump(int data[16]) {
+        for (int i = 0; i < 16; i++) { data[i] = data[i] + 1; }
+    }
+    int kernel(int seedv) {
+        #pragma HLS dataflow
+        int data[16];
+        for (int i = 0; i < 16; i++) { data[i] = seedv + i; }
+        bump(data);
+        bump(data);
+        int acc = 0;
+        for (int i = 0; i < 16; i++) { acc += data[i]; }
+        return acc;
+    }
+)";
+
+TEST(SearchMemo, RevisitedCandidatesHitTheCache)
+{
+    auto report = runPipeline(kBacktracking, /*use_memo=*/true);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report.search.memo.hits(), 0)
+        << "backtracking must revisit at least one candidate";
+}
+
+TEST(SearchMemo, CountersMatchTraceExactly)
+{
+    auto report = runPipeline(kBacktracking, /*use_memo=*/true);
+    const auto &search = report.search;
+
+    int compile_fresh = 0;
+    int compile_memo = 0;
+    int difftests = 0;
+    for (const auto &step : search.trace) {
+        if (startsWith(step.action, "compile:memo-"))
+            compile_memo += 1;
+        else if (startsWith(step.action, "compile:"))
+            compile_fresh += 1;
+        if (startsWith(step.action, "difftest:"))
+            difftests += 1;
+    }
+    // Every fresh compile is a miss and a toolchain invocation; every
+    // memo answer is a hit.
+    EXPECT_EQ(search.memo.compile_misses, compile_fresh);
+    EXPECT_EQ(search.memo.compile_misses, search.full_hls_invocations);
+    EXPECT_EQ(search.memo.compile_hits, compile_memo);
+    // Every difftest trace entry consulted the memo exactly once.
+    EXPECT_EQ(search.memo.difftest_hits + search.memo.difftest_misses,
+              difftests);
+}
+
+TEST(SearchMemo, DisabledMemoReportsZeroCounters)
+{
+    auto report = runPipeline(kBacktracking, /*use_memo=*/false);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.search.memo.hits(), 0);
+    EXPECT_EQ(report.search.memo.misses(), 0);
+}
+
+TEST(SearchMemo, MemoDoesNotChangeTheRepairOutcome)
+{
+    auto with = runPipeline(kBacktracking, /*use_memo=*/true);
+    auto without = runPipeline(kBacktracking, /*use_memo=*/false);
+    ASSERT_TRUE(with.ok());
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(cir::print(*with.search.program),
+              cir::print(*without.search.program));
+    EXPECT_DOUBLE_EQ(with.search.pass_ratio, without.search.pass_ratio);
+    EXPECT_EQ(with.search.applied_order, without.search.applied_order);
+}
+
+} // namespace
+} // namespace heterogen::repair

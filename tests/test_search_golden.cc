@@ -1,0 +1,153 @@
+/** @file Golden-trace regression tests for the repair search.
+ *
+ * Two fixed subjects run the full pipeline under fully pinned options
+ * (every stochastic knob is an explicit constant here — never a library
+ * default) and must reproduce the checked-in action sequence, pass
+ * ratio and simulated minutes exactly. A failure means search behaviour
+ * changed: if the change is intended, update the goldens from the
+ * failure message; if not, a refactor silently altered the search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/heterogen.h"
+#include "support/strings.h"
+
+namespace heterogen::repair {
+namespace {
+
+/** Every knob pinned so defaults may evolve without moving the trace. */
+core::HeteroGenOptions
+goldenOptions()
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.narrow_bitwidths = true;
+    opts.fuzz.rng_seed = 1;
+    opts.fuzz.max_executions = 300;
+    opts.fuzz.mutations_per_input = 8;
+    opts.fuzz.min_suite_size = 12;
+    opts.fuzz.max_steps_per_run = 200000;
+    opts.fuzz.plateau_minutes = 30.0;
+    opts.fuzz.budget_minutes = 240.0;
+    opts.fuzz.threads = 1;
+    opts.search.rng_seed = 7;
+    opts.search.difftest_sample = 10;
+    opts.search.budget_minutes = 400.0;
+    opts.search.max_iterations = 2000;
+    opts.search.use_style_checker = true;
+    opts.search.use_dependence = true;
+    opts.search.use_memo = true;
+    opts.search.difftest_sim_workers = 1;
+    opts.search.eval_threads = 1;
+    return opts;
+}
+
+void
+expectGolden(const std::string &src, const std::string &golden_trace,
+             double golden_pass_ratio, double golden_sim_minutes)
+{
+    core::HeteroGen engine(src);
+    auto report = engine.run(goldenOptions());
+    std::vector<std::string> actions;
+    for (const auto &step : report.search.trace)
+        actions.push_back(step.action);
+    EXPECT_EQ(join(actions, "\n"), trim(golden_trace))
+        << "=== actual pass_ratio: " << report.search.pass_ratio
+        << " sim_minutes: " << report.search.sim_minutes;
+    EXPECT_DOUBLE_EQ(report.search.pass_ratio, golden_pass_ratio);
+    EXPECT_NEAR(report.search.sim_minutes, golden_sim_minutes, 1e-6)
+        << "=== actual sim_minutes differs";
+}
+
+/** Subject 1: the long-double type-repair chain (Figure 7c). */
+const char *kTypeChainSubject =
+    "int kernel(int x) { long double v = x; v = v + 1; return v; }";
+
+TEST(SearchGolden, TypeChainSubjectReplaysExactly)
+{
+    expectGolden(kTypeChainSubject,
+                 R"(
+style-reject: long double variable 'v'
+noop:insert($a1:arr,$d1:dyn)
+style-reject: long double variable 'v'
+noop:insert($a1:arr,$d1:dyn)
+style-reject: long double variable 'v'
+noop:insert($a1:arr,$d1:dyn)
+style-reject: long double variable 'v'
+noop:array_static($a1:arr,$i1:int)
+style-reject: long double variable 'v'
+noop:array_static($a1:arr,$i1:int)
+style-reject: long double variable 'v'
+noop:array_static($a1:arr,$i1:int)
+style-reject: long double variable 'v'
+edit:type_trans($v1:var)
+compile:errors
+edit:type_casting($v1:var)
+compile:ok
+difftest:10/10
+noop:explore_partition($p1:pragma,$a1:arr)
+noop:segment($a1:arr)
+noop:pipeline($l1:loop)
+)",
+                 /*pass_ratio=*/1.0,
+                 /*sim_minutes=*/4.150046);
+}
+
+/** Subject 2: dataflow shared-array divergence forcing a backtrack. */
+const char *kBacktrackSubject = R"(
+    void bump(int data[16]) {
+        for (int i = 0; i < 16; i++) { data[i] = data[i] + 1; }
+    }
+    int kernel(int seedv) {
+        #pragma HLS dataflow
+        int data[16];
+        for (int i = 0; i < 16; i++) { data[i] = seedv + i; }
+        bump(data);
+        bump(data);
+        int acc = 0;
+        for (int i = 0; i < 16; i++) { acc += data[i]; }
+        return acc;
+    }
+)";
+
+TEST(SearchGolden, BacktrackSubjectReplaysExactly)
+{
+    expectGolden(kBacktrackSubject,
+                 R"(
+compile:errors
+noop:explore_partition($p1:pragma,$a1:arr)
+compile:memo-errors
+noop:explore_partition($p1:pragma,$a1:arr)
+compile:memo-errors
+noop:explore_partition($p1:pragma,$a1:arr)
+compile:memo-errors
+edit:segment($a1:arr)
+compile:ok
+difftest:0/10
+revert:segment($a1:arr)
+compile:memo-errors
+edit:delete($p1:pragma,$f1:func)
+compile:ok
+difftest:10/10
+edit:pipeline($l1:loop)
+edit:unroll($l1:loop)
+edit:partition($a1:arr)
+edit:dataflow($f1:func)
+compile:errors
+noop:move($p1:pragma,$f1:func)
+compile:memo-errors
+noop:move($p1:pragma,$f1:func)
+compile:memo-errors
+noop:move($p1:pragma,$f1:func)
+compile:memo-errors
+revert:dataflow($f1:func)
+compile:ok
+difftest:10/10
+)",
+                 /*pass_ratio=*/1.0,
+                 /*sim_minutes=*/17.311806);
+}
+
+} // namespace
+} // namespace heterogen::repair
