@@ -1,6 +1,8 @@
 /**
  * @file
- * Shared configuration for the table/figure reproduction benches.
+ * Shared configuration for the table/figure reproduction benches,
+ * including the --trace-out harness that dumps per-run RunContext
+ * traces as JSON lines for per-stage cost attribution.
  */
 
 #ifndef HETEROGEN_BENCH_COMMON_H
@@ -14,6 +16,70 @@
 #include "subjects/subjects.h"
 
 namespace heterogen::bench {
+
+/** Command-line knobs every bench binary accepts. */
+struct BenchArgs
+{
+    /** --trace-out <path>: append one JSON line per labeled run. */
+    std::string trace_out;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--trace-out" && i + 1 < argc) {
+            args.trace_out = argv[++i];
+        } else if (a.rfind("--trace-out=", 0) == 0) {
+            args.trace_out = a.substr(std::string("--trace-out=").size());
+        } else {
+            std::fprintf(stderr,
+                         "unknown bench argument: %s "
+                         "(supported: --trace-out <path>)\n",
+                         a.c_str());
+        }
+    }
+    return args;
+}
+
+/**
+ * Collects labeled run traces and writes them as JSON lines
+ * ({"label": ..., "trace": <span tree>}) when --trace-out was given.
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const BenchArgs &args) : path_(args.trace_out) {}
+
+    /** Record one run's trace JSON under a short label (e.g. "P3/HG"). */
+    void
+    add(const std::string &label, const std::string &trace_json)
+    {
+        if (path_.empty() || trace_json.empty())
+            return;
+        if (!file_)
+            file_ = std::fopen(path_.c_str(), "w");
+        if (!file_)
+            return;
+        std::fprintf(file_, "{\"label\":\"%s\",\"trace\":%s}\n",
+                     label.c_str(), trace_json.c_str());
+    }
+
+    ~TraceWriter()
+    {
+        if (file_) {
+            std::fclose(file_);
+            std::fprintf(stderr, "trace lines written to %s\n",
+                         path_.c_str());
+        }
+    }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
 
 /**
  * The evaluation configuration: a three-hour simulated repair budget

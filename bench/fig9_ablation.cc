@@ -18,8 +18,9 @@
 using namespace heterogen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceWriter traces(bench::parseBenchArgs(argc, argv));
     std::printf("Figure 9: repair time and HLS invocation ablations\n");
     std::printf("%-4s | %9s %9s %8s | %7s %7s\n", "", "HG(min)",
                 "NoDep", "speedup", "HG inv%", "NoChk%");
@@ -35,6 +36,9 @@ main()
         auto hg = engine.run(base_opts);
         auto nodep = engine.run(nodep_opts);
         auto nochk = engine.run(core::withoutChecker(base_opts));
+        traces.add(subject.id + "/HG", hg.trace_json);
+        traces.add(subject.id + "/NoDep", nodep.trace_json);
+        traces.add(subject.id + "/NoChk", nochk.trace_json);
 
         double hg_min = hg.search.minutes_to_success;
         double nodep_min = nodep.search.minutes_to_success;

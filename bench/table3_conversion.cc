@@ -14,8 +14,9 @@
 using namespace heterogen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceWriter traces(bench::parseBenchArgs(argc, argv));
     std::printf("Table 3: Subjects and overall results\n");
     std::printf("%-4s %-22s %-14s %-12s %-10s %s\n", "ID", "Subject",
                 "Compatibility", "Improved?", "CPU (ms)", "FPGA (ms)");
@@ -24,6 +25,7 @@ main()
     for (const subjects::Subject &subject : subjects::allSubjects()) {
         core::HeteroGen engine(subject.source);
         auto report = engine.run(bench::standardOptions(subject));
+        traces.add(subject.id, report.trace_json);
         bool ok = report.ok();
         compatible += ok ? 1 : 0;
         improved += report.search.improved ? 1 : 0;

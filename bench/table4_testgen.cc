@@ -19,8 +19,9 @@
 using namespace heterogen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceWriter traces(bench::parseBenchArgs(argc, argv));
     std::printf("Table 4: Generated tests (HG) vs existing tests\n");
     std::printf("%-4s %10s %8s %7s   %10s %7s\n", "", "HG #Tests",
                 "Time(m)", "Cov.", "Exist. #", "Cov.");
@@ -33,8 +34,10 @@ main()
         auto opts = bench::standardOptions(subject);
         fuzz::FuzzOptions fo = opts.fuzz;
         fo.host_function = subject.host;
-        fuzz::FuzzResult r = fuzz::fuzzKernel(*tu, subject.kernel, sema,
-                                              fo);
+        RunContext ctx;
+        fuzz::FuzzResult r = fuzz::fuzzKernel(ctx, *tu, subject.kernel,
+                                              sema, fo);
+        traces.add(subject.id, ctx.traceJson());
         total_tests += double(r.suite.size());
         total_cov += r.branchCoverage();
 

@@ -50,8 +50,9 @@ meanLatency(const cir::TranslationUnit &tu, const std::string &kernel,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceWriter traces(bench::parseBenchArgs(argc, argv));
     std::printf("Table 5: Comparison against manual edits and "
                 "HeteroRefactor\n");
     std::printf("%-4s %6s | %7s %7s %7s | %9s %9s %9s %9s\n", "ID",
@@ -68,6 +69,8 @@ main()
         // HeteroRefactor: restricted edit set, same pipeline.
         auto hr = engine.run(
             core::heteroRefactor(bench::standardOptions(subject)));
+        traces.add(subject.id + "/HG", hg.trace_json);
+        traces.add(subject.id + "/HR", hr.trace_json);
 
         // Manual port.
         auto manual = cir::parse(subject.manual_source);

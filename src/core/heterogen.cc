@@ -15,6 +15,28 @@ HeteroGen::HeteroGen(const std::string &source)
     sema_ = cir::analyzeOrDie(*tu_);
 }
 
+void
+validateOptions(const HeteroGenOptions &options)
+{
+    if (options.kernel.empty())
+        fatal("HeteroGen: no kernel function specified");
+    if (options.pipeline_budget_minutes < 0)
+        fatal("HeteroGen: pipeline_budget_minutes must be >= 0, got ",
+              options.pipeline_budget_minutes);
+    if (options.fuzz.budget_minutes < 0)
+        fatal("HeteroGen: fuzz.budget_minutes must be >= 0, got ",
+              options.fuzz.budget_minutes);
+    if (options.fuzz.plateau_minutes < 0)
+        fatal("HeteroGen: fuzz.plateau_minutes must be >= 0, got ",
+              options.fuzz.plateau_minutes);
+    if (options.search.budget_minutes < 0)
+        fatal("HeteroGen: search.budget_minutes must be >= 0, got ",
+              options.search.budget_minutes);
+    if (options.search.difftest_sim_workers < 1)
+        fatal("HeteroGen: search.difftest_sim_workers must be >= 1, "
+              "got ", options.search.difftest_sim_workers);
+}
+
 interp::ValueProfile
 profileUnderSuite(const TranslationUnit &tu, const std::string &kernel,
                   const fuzz::TestSuite &suite)
@@ -28,48 +50,80 @@ profileUnderSuite(const TranslationUnit &tu, const std::string &kernel,
     return profile;
 }
 
+interp::ValueProfile
+profileUnderSuite(RunContext &ctx, const TranslationUnit &tu,
+                  const std::string &kernel, const fuzz::TestSuite &suite)
+{
+    interp::ValueProfile profile;
+    for (const fuzz::TestCase &test : suite.cases()) {
+        interp::RunOptions opts;
+        opts.profile = &profile;
+        opts.trace = &ctx;
+        interp::runProgram(tu, kernel, test.args, opts);
+    }
+    return profile;
+}
+
 HeteroGenReport
 HeteroGen::run(const HeteroGenOptions &options) const
 {
-    if (options.kernel.empty())
-        fatal("HeteroGen: no kernel function specified");
+    RunContext ctx;
+    return run(ctx, options);
+}
+
+HeteroGenReport
+HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
+{
+    validateOptions(options);
     if (!tu_->findFunction(options.kernel))
         fatal("HeteroGen: kernel '", options.kernel,
               "' not found in program");
 
+    Budget pipeline_budget =
+        options.pipeline_budget_minutes > 0
+            ? Budget::minutes(options.pipeline_budget_minutes)
+            : Budget::unlimited();
+    SpanScope pipeline(ctx, "pipeline", pipeline_budget);
+
     HeteroGenReport report;
     report.orig_loc = countLines(cir::print(*tu_));
 
-    // (1) Test input generation.
+    // (1) Test input generation (opens the "fuzz" span).
     fuzz::FuzzOptions fuzz_opts = options.fuzz;
     if (fuzz_opts.host_function.empty())
         fuzz_opts.host_function = options.host_function;
-    report.testgen = fuzz::fuzzKernel(*tu_, options.kernel, sema_,
+    report.testgen = fuzz::fuzzKernel(ctx, *tu_, options.kernel, sema_,
                                       fuzz_opts);
 
     // (2) Initial HLS version: profile value ranges, estimate types.
-    report.profile =
-        profileUnderSuite(*tu_, options.kernel, report.testgen.suite);
+    {
+        SpanScope profiling(ctx, "profile");
+        report.profile = profileUnderSuite(ctx, *tu_, options.kernel,
+                                           report.testgen.suite);
+    }
     cir::TuPtr broken = tu_->clone();
     hls::HlsConfig config = options.config;
     config.top_function = options.initial_top.empty()
                               ? options.kernel
                               : options.initial_top;
     if (options.narrow_bitwidths) {
-        repair::RepairContext ctx{*broken, config, "", &report.profile,
-                                  nullptr, false};
-        repair::xform::bitwidthNarrow(ctx);
+        SpanScope init(ctx, "init_hls");
+        repair::RepairContext rctx{*broken, config, "", &report.profile,
+                                   nullptr, false};
+        repair::xform::bitwidthNarrow(rctx);
     }
 
-    // (3)-(5) Iterative repair with fitness evaluation.
-    report.search = repair::repairSearch(*tu_, options.kernel, *broken,
-                                         config, report.testgen.suite,
+    // (3)-(5) Iterative repair with fitness evaluation (opens the
+    // "repair" span).
+    report.search = repair::repairSearch(ctx, *tu_, options.kernel,
+                                         *broken, config,
+                                         report.testgen.suite,
                                          report.profile, options.search);
 
     report.hls_source = cir::print(*report.search.program);
     report.final_loc = countLines(report.hls_source);
-    report.total_minutes =
-        report.testgen.sim_minutes + report.search.sim_minutes;
+    report.total_minutes = pipeline.minutes();
+    report.trace_json = ctx.traceJson();
     return report;
 }
 

@@ -19,6 +19,7 @@
 
 #include "fuzz/fuzzer.h"
 #include "repair/search.h"
+#include "support/run_context.h"
 
 namespace heterogen::core {
 
@@ -34,11 +35,27 @@ struct HeteroGenOptions
     std::string initial_top;
     /** Profile-guided bitwidth narrowing for the initial HLS version. */
     bool narrow_bitwidths = true;
+    /**
+     * Budget for the whole pipeline in simulated minutes (0 =
+     * unlimited). The stage budgets (fuzz.budget_minutes,
+     * search.budget_minutes) still apply individually; this caps their
+     * sum, so a fuzz campaign that eats the whole pipeline budget
+     * leaves the repair search nothing — the hierarchical split the
+     * RunContext spine checks through one deadlineExceeded().
+     */
+    double pipeline_budget_minutes = 0;
 
     fuzz::FuzzOptions fuzz;
     repair::SearchOptions search;
     hls::HlsConfig config;
 };
+
+/**
+ * Reject malformed options with a FatalError before any stage runs:
+ * empty kernel, negative budgets, non-positive difftest sim-worker
+ * counts. (Kernel existence is checked against the program by run().)
+ */
+void validateOptions(const HeteroGenOptions &options);
 
 /** Everything the pipeline produced. */
 struct HeteroGenReport
@@ -53,8 +70,17 @@ struct HeteroGenReport
     std::string hls_source;
     int orig_loc = 0;
     int final_loc = 0;
-    /** Total simulated minutes: fuzzing + repair. */
+    /**
+     * Total simulated minutes of the run, read off the RunContext
+     * pipeline span — every stage charge lands here by construction,
+     * so a stage that forgets to report cannot cause drift.
+     */
     double total_minutes = 0;
+    /**
+     * JSON export of the run's span tree and counters (the schema is
+     * documented in docs/TRACING.md; parse with parseTraceJson).
+     */
+    std::string trace_json;
 
     bool ok() const
     {
@@ -72,8 +98,17 @@ class HeteroGen
     /** @throws FatalError on parse/sema failure. */
     explicit HeteroGen(const std::string &source);
 
-    /** Run the full pipeline. */
+    /** Run the full pipeline (creates a fresh RunContext internally). */
     HeteroGenReport run(const HeteroGenOptions &options) const;
+
+    /**
+     * Run the full pipeline on a caller-provided context: the caller
+     * can budget the whole run, cancel it cooperatively, attach a log
+     * sink, and inspect the trace while stages execute.
+     * @throws FatalError on invalid options (see validateOptions).
+     */
+    HeteroGenReport run(RunContext &ctx,
+                        const HeteroGenOptions &options) const;
 
     const cir::TranslationUnit &program() const { return *tu_; }
     const cir::SemaResult &sema() const { return sema_; }
@@ -88,6 +123,12 @@ class HeteroGen
  * (used for initial HLS version generation).
  */
 interp::ValueProfile profileUnderSuite(const cir::TranslationUnit &tu,
+                                       const std::string &kernel,
+                                       const fuzz::TestSuite &suite);
+
+/** Spine-aware variant: bumps interp.* counters on the context. */
+interp::ValueProfile profileUnderSuite(RunContext &ctx,
+                                       const cir::TranslationUnit &tu,
                                        const std::string &kernel,
                                        const fuzz::TestSuite &suite);
 

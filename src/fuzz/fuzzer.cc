@@ -89,6 +89,17 @@ FuzzResult
 fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
            const cir::SemaResult &sema, const FuzzOptions &options)
 {
+    RunContext ctx;
+    return fuzzKernel(ctx, tu, kernel, sema, options);
+}
+
+FuzzResult
+fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
+           const std::string &kernel, const cir::SemaResult &sema,
+           const FuzzOptions &options)
+{
+    SpanScope span(ctx, "fuzz", Budget::minutes(options.budget_minutes));
+
     FuzzResult result;
     (void)sema;
     result.coverage.setNumBranches(kernelBranchCount(tu, kernel));
@@ -103,6 +114,7 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
         host_opts.capture_function = kernel;
         host_opts.captured_args = &seed;
         host_opts.max_steps = options.max_steps_per_run;
+        host_opts.trace = &ctx;
         interp::runProgram(tu, options.host_function, options.host_args,
                            host_opts);
     }
@@ -114,6 +126,14 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
 
     WorkerPool pool(options.threads);
 
+    /** Merge new coverage and count the freshly covered edges. */
+    auto mergeCoverage = [&](const CoverageMap &local) {
+        int64_t before = result.coverage.hitCount();
+        result.coverage.merge(local);
+        ctx.count("fuzz.coverage_edges",
+                  result.coverage.hitCount() - before);
+    };
+
     /**
      * Corpus bookkeeping for one executed input, strictly in input
      * order. The coverage decision (coversNew) depends on the corpus
@@ -123,10 +143,11 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
     auto bookkeep = [&](const std::vector<KernelArg> &args,
                         const CoverageMap &local, const RunResult &run) {
         result.executions += 1;
-        result.sim_minutes += executionMinutes(run);
+        ctx.count("fuzz.executions");
+        ctx.charge(executionMinutes(run));
         if (result.coverage.coversNew(local)) {
-            result.coverage.merge(local);
-            result.last_progress_minutes = result.sim_minutes;
+            mergeCoverage(local);
+            result.last_progress_minutes = span.minutes();
             if (result.suite.add(args))
                 queue.push_back(args);
         } else if (static_cast<int>(result.suite.size()) <
@@ -151,11 +172,12 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
             RunOptions opts;
             opts.coverage = &locals[i];
             opts.max_steps = options.max_steps_per_run;
+            opts.trace = &ctx;
             runs[i] = interp::runProgram(tu, kernel, batch[i], opts);
         });
         for (size_t i = 0; i < batch.size(); ++i) {
             if (result.executions >= options.max_executions ||
-                result.sim_minutes >= options.budget_minutes) {
+                ctx.shouldStop()) {
                 break; // speculative tail executions are not counted
             }
             bookkeep(batch[i], locals[i], runs[i]);
@@ -168,19 +190,21 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
         RunOptions opts;
         opts.coverage = &local;
         opts.max_steps = options.max_steps_per_run;
+        opts.trace = &ctx;
         RunResult run = interp::runProgram(tu, kernel, seed, opts);
         result.executions += 1;
-        result.sim_minutes += executionMinutes(run);
-        result.coverage.merge(local);
-        result.last_progress_minutes = result.sim_minutes;
+        ctx.count("fuzz.executions");
+        ctx.charge(executionMinutes(run));
+        mergeCoverage(local);
+        result.last_progress_minutes = span.minutes();
         result.suite.add(seed);
     }
 
     // --- fuzzing loop (Algorithm 1, lines 7-12) --------------------------
     while (!queue.empty() &&
            result.executions < options.max_executions &&
-           result.sim_minutes < options.budget_minutes) {
-        if (result.sim_minutes - result.last_progress_minutes >
+           !ctx.shouldStop()) {
+        if (span.minutes() - result.last_progress_minutes >
             options.plateau_minutes) {
             break; // coverage plateaued; AFL timing indicator protocol
         }
@@ -191,6 +215,9 @@ fuzzKernel(const cir::TranslationUnit &tu, const std::string &kernel,
         // Keep cycling the corpus.
         queue.push_back(std::move(input));
     }
+    result.sim_minutes = span.minutes();
+    ctx.count("fuzz.suite_size",
+              static_cast<int64_t>(result.suite.size()));
     return result;
 }
 

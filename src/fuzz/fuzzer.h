@@ -21,6 +21,7 @@
 #include "fuzz/mutator.h"
 #include "fuzz/testsuite.h"
 #include "interp/interp.h"
+#include "support/run_context.h"
 
 namespace heterogen::fuzz {
 
@@ -80,6 +81,19 @@ struct FuzzResult
  * The TU must already be sema-analyzed (branch ids assigned).
  */
 FuzzResult fuzzKernel(const cir::TranslationUnit &tu,
+                      const std::string &kernel,
+                      const cir::SemaResult &sema,
+                      const FuzzOptions &options = {});
+
+/**
+ * Spine-aware variant: opens a "fuzz" span budgeted at
+ * options.budget_minutes on the context, charges every simulated
+ * execution minute to it, bumps fuzz.* counters (executions,
+ * coverage_edges, suite_size), and stops early on ctx cancellation or
+ * an exhausted enclosing budget. With a fresh context this produces a
+ * byte-identical FuzzResult to the plain overload.
+ */
+FuzzResult fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
                       const std::string &kernel,
                       const cir::SemaResult &sema,
                       const FuzzOptions &options = {});

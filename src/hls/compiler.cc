@@ -3,6 +3,7 @@
 #include "cir/printer.h"
 #include "cir/walk.h"
 #include "hls/synth_check.h"
+#include "support/run_context.h"
 #include "support/strings.h"
 
 namespace heterogen::hls {
@@ -51,6 +52,17 @@ HlsToolchain::compile(const TranslationUnit &tu)
         return result;
     }
     result.ok = true;
+    return result;
+}
+
+CompileResult
+HlsToolchain::compile(RunContext &ctx, const TranslationUnit &tu)
+{
+    CompileResult result = compile(tu);
+    ctx.charge(result.synth_minutes);
+    ctx.count("hls.compiles");
+    for (const HlsError &error : result.errors)
+        ctx.count("hls.errors." + categorySlug(error.category));
     return result;
 }
 

@@ -22,6 +22,10 @@
 #include "hls/fpga_model.h"
 #include "hls/resource.h"
 
+namespace heterogen {
+class RunContext;
+}
+
 namespace heterogen::hls {
 
 /** Result of one full synthesis attempt. */
@@ -61,6 +65,14 @@ class HlsToolchain
      * invoke the style checker first if you want to avoid that.
      */
     CompileResult compile(const cir::TranslationUnit &tu);
+
+    /**
+     * Spine-aware variant: charges the synthesis minutes to the
+     * context's current span and bumps hls.compiles plus one
+     * hls.errors.<category-slug> counter per diagnostic. The compile
+     * outcome (including synth_minutes) is identical to compile(tu).
+     */
+    CompileResult compile(RunContext &ctx, const cir::TranslationUnit &tu);
 
     /** Co-simulate the kernel (charges simulation cost). */
     FpgaRunResult cosim(const cir::TranslationUnit &tu,

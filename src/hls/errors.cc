@@ -22,6 +22,26 @@ categoryName(ErrorCategory category)
     return "?";
 }
 
+std::string
+categorySlug(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::DynamicDataStructures:
+        return "dynamic_data_structures";
+      case ErrorCategory::UnsupportedDataTypes:
+        return "unsupported_data_types";
+      case ErrorCategory::DataflowOptimization:
+        return "dataflow_optimization";
+      case ErrorCategory::LoopParallelization:
+        return "loop_parallelization";
+      case ErrorCategory::StructAndUnion:
+        return "struct_and_union";
+      case ErrorCategory::TopFunction:
+        return "top_function";
+    }
+    return "unknown";
+}
+
 const std::vector<ErrorCategory> &
 allCategories()
 {

@@ -31,6 +31,9 @@ enum class ErrorCategory
 /** Human-readable category label (matches the paper's terms). */
 std::string categoryName(ErrorCategory category);
 
+/** Stable snake_case identifier (trace counter keys, JSON fields). */
+std::string categorySlug(ErrorCategory category);
+
 /** Number of categories (pie-chart denominators, iteration). */
 constexpr int kNumErrorCategories = 6;
 

@@ -7,6 +7,7 @@
 #include "cir/printer.h"
 #include "cir/sema.h"
 #include "cir/walk.h"
+#include "support/run_context.h"
 
 namespace heterogen::hls {
 
@@ -714,6 +715,17 @@ std::vector<HlsError>
 checkSynthesizability(const TranslationUnit &tu, const HlsConfig &config)
 {
     return Checker(tu, config).run();
+}
+
+std::vector<HlsError>
+checkSynthesizability(RunContext &ctx, const TranslationUnit &tu,
+                      const HlsConfig &config)
+{
+    std::vector<HlsError> errors = Checker(tu, config).run();
+    ctx.count("hls.synth_checks");
+    for (const HlsError &error : errors)
+        ctx.count("hls.errors." + categorySlug(error.category));
+    return errors;
 }
 
 } // namespace heterogen::hls

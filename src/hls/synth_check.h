@@ -19,6 +19,10 @@
 #include "hls/config.h"
 #include "hls/errors.h"
 
+namespace heterogen {
+class RunContext;
+}
+
 namespace heterogen::hls {
 
 /**
@@ -26,6 +30,15 @@ namespace heterogen::hls {
  * the synthesis front end.
  */
 std::vector<HlsError> checkSynthesizability(const cir::TranslationUnit &tu,
+                                            const HlsConfig &config);
+
+/**
+ * Spine-aware variant: additionally bumps hls.synth_checks and one
+ * hls.errors.<category-slug> counter per diagnostic on the current
+ * trace span (support/run_context.h). Check outcome is identical.
+ */
+std::vector<HlsError> checkSynthesizability(RunContext &ctx,
+                                            const cir::TranslationUnit &tu,
                                             const HlsConfig &config);
 
 /**

@@ -5,6 +5,7 @@
 
 #include "cir/sema.h"
 #include "support/diagnostics.h"
+#include "support/run_context.h"
 
 namespace heterogen::interp {
 
@@ -1443,7 +1444,15 @@ Interpreter::run(const std::string &function,
                  const std::vector<KernelArg> &args)
 {
     Engine engine(tu_, options_);
-    return engine.run(function, args);
+    RunResult result = engine.run(function, args);
+    if (options_.trace) {
+        options_.trace->count("interp.runs");
+        options_.trace->count("interp.steps",
+                              static_cast<int64_t>(result.steps));
+        if (!result.ok)
+            options_.trace->count("interp.traps");
+    }
+    return result;
 }
 
 RunResult

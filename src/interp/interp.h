@@ -33,6 +33,10 @@
 #include "interp/memory.h"
 #include "interp/profile.h"
 
+namespace heterogen {
+class RunContext;
+}
+
 namespace heterogen::interp {
 
 /** Knobs for one interpreter run. */
@@ -54,6 +58,14 @@ struct RunOptions
      */
     std::string capture_function;
     std::vector<KernelArg> *captured_args = nullptr;
+    /**
+     * When non-null, each run bumps interp.runs / interp.steps /
+     * interp.traps counters on the spine (support/run_context.h).
+     * Counter updates are thread-safe, so concurrent runs (parallel
+     * difftest, fuzz batches) may share one context; totals are
+     * thread-count invariant because they are plain integer sums.
+     */
+    RunContext *trace = nullptr;
 };
 
 /** Outcome of one run. */

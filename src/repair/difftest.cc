@@ -4,6 +4,7 @@
 
 #include "hls/fpga_model.h"
 #include "interp/interp.h"
+#include "support/run_context.h"
 
 namespace heterogen::repair {
 
@@ -21,14 +22,12 @@ struct TestRecord
     double fpga_ms = 0;
 };
 
-} // namespace
-
 DiffTestResult
-diffTest(const cir::TranslationUnit &original,
-         const std::string &original_kernel,
-         const cir::TranslationUnit &candidate,
-         const hls::HlsConfig &config, const fuzz::TestSuite &suite,
-         const DiffTestOptions &options)
+diffTestImpl(RunContext *ctx, const cir::TranslationUnit &original,
+             const std::string &original_kernel,
+             const cir::TranslationUnit &candidate,
+             const hls::HlsConfig &config, const fuzz::TestSuite &suite,
+             const DiffTestOptions &options)
 {
     DiffTestResult result;
     int limit = options.max_tests > 0
@@ -43,6 +42,7 @@ diffTest(const cir::TranslationUnit &original,
         const fuzz::TestCase &test = suite[i];
         TestRecord &rec = records[i];
         RunOptions opts;
+        opts.trace = ctx;
         RunResult cpu = interp::runProgram(original, original_kernel,
                                            test.args, opts);
         hls::FpgaRunResult fpga = hls::simulateFpga(
@@ -80,7 +80,42 @@ diffTest(const cir::TranslationUnit &original,
     uint64_t critical =
         *std::max_element(worker_steps.begin(), worker_steps.end());
     result.sim_minutes = 0.2 + double(critical) / 5.0e6;
+
+    if (ctx) {
+        // One charge for the whole campaign: the caller-visible cost is
+        // a single number, so the span accumulates exactly what the
+        // pre-spine code added to its own sim_minutes.
+        ctx->charge(result.sim_minutes);
+        ctx->count("difftest.campaigns");
+        ctx->count("difftest.tests", result.total);
+        ctx->count("difftest.mismatches",
+                   static_cast<int64_t>(result.failing.size()));
+    }
     return result;
+}
+
+} // namespace
+
+DiffTestResult
+diffTest(const cir::TranslationUnit &original,
+         const std::string &original_kernel,
+         const cir::TranslationUnit &candidate,
+         const hls::HlsConfig &config, const fuzz::TestSuite &suite,
+         const DiffTestOptions &options)
+{
+    return diffTestImpl(nullptr, original, original_kernel, candidate,
+                        config, suite, options);
+}
+
+DiffTestResult
+diffTest(RunContext &ctx, const cir::TranslationUnit &original,
+         const std::string &original_kernel,
+         const cir::TranslationUnit &candidate,
+         const hls::HlsConfig &config, const fuzz::TestSuite &suite,
+         const DiffTestOptions &options)
+{
+    return diffTestImpl(&ctx, original, original_kernel, candidate,
+                        config, suite, options);
 }
 
 DiffTestResult

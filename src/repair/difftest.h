@@ -21,6 +21,10 @@
 #include "hls/config.h"
 #include "support/worker_pool.h"
 
+namespace heterogen {
+class RunContext;
+}
+
 namespace heterogen::repair {
 
 /** Knobs for one differential-testing campaign. */
@@ -79,6 +83,21 @@ struct DiffTestResult
  * @param options         sampling cap, modeled workers, host pool
  */
 DiffTestResult diffTest(const cir::TranslationUnit &original,
+                        const std::string &original_kernel,
+                        const cir::TranslationUnit &candidate,
+                        const hls::HlsConfig &config,
+                        const fuzz::TestSuite &suite,
+                        const DiffTestOptions &options);
+
+/**
+ * Spine-aware variant: charges the campaign's simulated minutes to the
+ * context's current span, bumps difftest.campaigns / difftest.tests /
+ * difftest.mismatches, and threads the context into the interpreter
+ * runs (interp.* counters). Pass/fail results and sim_minutes are
+ * identical to the plain overload.
+ */
+DiffTestResult diffTest(RunContext &ctx,
+                        const cir::TranslationUnit &original,
                         const std::string &original_kernel,
                         const cir::TranslationUnit &candidate,
                         const hls::HlsConfig &config,

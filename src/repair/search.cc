@@ -9,6 +9,7 @@
 #include "repair/transforms.h"
 #include "stylecheck/stylecheck.h"
 #include "support/diagnostics.h"
+#include "support/run_context.h"
 #include "support/worker_pool.h"
 
 namespace heterogen::repair {
@@ -38,12 +39,12 @@ struct Snapshot
 class Search
 {
   public:
-    Search(const TranslationUnit &original, const std::string &kernel,
-           const TranslationUnit &broken, const hls::HlsConfig &config,
-           const fuzz::TestSuite &suite,
+    Search(RunContext &ctx, const TranslationUnit &original,
+           const std::string &kernel, const TranslationUnit &broken,
+           const hls::HlsConfig &config, const fuzz::TestSuite &suite,
            const interp::ValueProfile &profile,
            const SearchOptions &options)
-        : original_(original), kernel_(kernel), suite_(suite),
+        : ctx_(ctx), original_(original), kernel_(kernel), suite_(suite),
           profile_(profile), options_(options), rng_(options.rng_seed),
           pool_(options.eval_threads)
     {
@@ -54,10 +55,13 @@ class Search
     SearchResult
     run()
     {
-        while (!dead_end_ &&
-               result_.sim_minutes < options_.budget_minutes &&
+        SpanScope span(ctx_, "repair",
+                       Budget::minutes(options_.budget_minutes));
+        span_ = &span;
+        while (!dead_end_ && !ctx_.shouldStop() &&
                result_.iterations < options_.max_iterations) {
             result_.iterations += 1;
+            ctx_.count("search.candidates");
 
             if (options_.use_style_checker && !styleGate())
                 continue;
@@ -84,17 +88,27 @@ class Search
                 break;
         }
         finalize();
+        span_ = nullptr;
         return std::move(result_);
     }
 
   private:
     // --- accounting helpers ------------------------------------------------
 
+    /** Minutes charged to the repair span so far (== the old local
+     * sim_minutes accumulator bit for bit: same additions, same order,
+     * starting from zero). */
+    double
+    minutes() const
+    {
+        return span_->minutes();
+    }
+
     void
     note(std::string action)
     {
         result_.trace.push_back({result_.iterations, std::move(action),
-                                 result_.sim_minutes});
+                                 minutes()});
     }
 
     // --- memoized candidate evaluation ------------------------------------
@@ -110,14 +124,15 @@ class Search
         if (options_.use_memo) {
             fingerprint_ = candidateFingerprint(*cand_, config_);
             if (auto hit = memo_.findCompile(fingerprint_)) {
+                ctx_.count("search.memo_compile_hits");
                 note("compile:memo-" +
                      std::string(hit->ok ? "ok" : "errors"));
                 return *hit;
             }
+            ctx_.count("search.memo_compile_misses");
         }
         hls::HlsToolchain tool(config_);
-        hls::CompileResult compiled = tool.compile(*cand_);
-        result_.sim_minutes += compiled.synth_minutes;
+        hls::CompileResult compiled = tool.compile(ctx_, *cand_);
         result_.full_hls_invocations += 1;
         note("compile:" + std::string(compiled.ok ? "ok" : "errors"));
         if (options_.use_memo)
@@ -130,16 +145,18 @@ class Search
     difftestCandidate()
     {
         if (options_.use_memo) {
-            if (auto hit = memo_.findDiffTest(fingerprint_))
+            if (auto hit = memo_.findDiffTest(fingerprint_)) {
+                ctx_.count("search.memo_difftest_hits");
                 return *hit;
+            }
+            ctx_.count("search.memo_difftest_misses");
         }
         DiffTestOptions dt;
         dt.max_tests = options_.difftest_sample;
         dt.sim_workers = options_.difftest_sim_workers;
         dt.pool = &pool_;
-        DiffTestResult fitness = diffTest(original_, kernel_, *cand_,
-                                          config_, suite_, dt);
-        result_.sim_minutes += fitness.sim_minutes;
+        DiffTestResult fitness = diffTest(ctx_, original_, kernel_,
+                                          *cand_, config_, suite_, dt);
         if (options_.use_memo)
             memo_.storeDiffTest(fingerprint_, fitness);
         return fitness;
@@ -153,10 +170,12 @@ class Search
     {
         style::StyleReport report = style::checkStyle(*cand_);
         result_.style_checks += 1;
-        result_.sim_minutes += report.check_minutes;
+        ctx_.count("search.style_checks");
+        ctx_.charge(report.check_minutes);
         if (report.clean())
             return true;
         result_.style_rejections += 1;
+        ctx_.count("search.style_rejections");
         note("style-reject: " + report.issues.front().message);
         auto loc = localizeMessage(report.issues.front().message);
         ErrorCategory category =
@@ -232,9 +251,10 @@ class Search
         RepairContext ctx{*cand_, config_, symbol, &profile_, &rng_,
                           !options_.use_dependence};
         bool changed = t.apply(ctx);
-        result_.sim_minutes += kEditMinutes;
+        ctx_.charge(kEditMinutes);
         if (!changed) {
             noop_counts_[t.name] += 1;
+            ctx_.count("search.noop_edits");
             note("noop:" + t.name);
             return true; // an attempt was made (and wasted)
         }
@@ -246,9 +266,11 @@ class Search
             cand_ = std::move(snap.tu);
             config_ = snap.config;
             banned_.insert(t.name);
+            ctx_.count("search.invalid_edits");
             note("invalid-edit:" + t.name);
             return true;
         }
+        ctx_.count("search.edits_applied");
         note("edit:" + t.name);
         applied_.insert(t.name);
         result_.applied_order.push_back(t.name);
@@ -275,7 +297,7 @@ class Search
     acceptSuccess(const DiffTestResult &fitness)
     {
         if (!result_.hls_compatible)
-            result_.minutes_to_success = result_.sim_minutes;
+            result_.minutes_to_success = minutes();
         result_.hls_compatible = true;
         result_.behavior_preserved = true;
         result_.pass_ratio = fitness.passRatio();
@@ -301,7 +323,7 @@ class Search
     bool
     performanceStep()
     {
-        if (result_.sim_minutes >= options_.budget_minutes)
+        if (ctx_.shouldStop())
             return false;
         const EditRegistry &registry = EditRegistry::instance();
         if (!options_.use_dependence) {
@@ -346,7 +368,7 @@ class Search
             if (xform::resizeGeneratedArrays(ctx)) {
                 cir::analyze(*cand_);
                 resize_attempts_ += 1;
-                result_.sim_minutes += kEditMinutes;
+                ctx_.charge(kEditMinutes);
                 note("edit:resize($a1:arr)");
                 if (!applied_.count("resize($a1:arr)")) {
                     applied_.insert("resize($a1:arr)");
@@ -372,6 +394,7 @@ class Search
                 banned_.insert(snapshots_.back().edit_about_to_apply);
                 snapshots_.pop_back();
             }
+            ctx_.count("search.reverts");
             note("revert:last-good");
             return true;
         }
@@ -383,6 +406,7 @@ class Search
         config_ = snap.config;
         applied_ = std::move(snap.applied);
         banned_.insert(snap.edit_about_to_apply);
+        ctx_.count("search.reverts");
         note("revert:" + snap.edit_about_to_apply);
         return true;
     }
@@ -403,10 +427,14 @@ class Search
         result_.diff = diffLines(cir::print(original_),
                                  cir::print(*result_.program));
         result_.memo = memo_.stats();
+        result_.sim_minutes = minutes();
         if (!result_.hls_compatible)
             result_.minutes_to_success = result_.sim_minutes;
     }
 
+    RunContext &ctx_;
+    /** Open for the duration of run(); null outside it. */
+    SpanScope *span_ = nullptr;
     const TranslationUnit &original_;
     const std::string kernel_;
     const fuzz::TestSuite &suite_;
@@ -448,7 +476,19 @@ repairSearch(const TranslationUnit &original, const std::string &kernel,
              const interp::ValueProfile &profile,
              const SearchOptions &options)
 {
-    return Search(original, kernel, broken, config, suite, profile,
+    RunContext ctx;
+    return repairSearch(ctx, original, kernel, broken, config, suite,
+                        profile, options);
+}
+
+SearchResult
+repairSearch(RunContext &ctx, const TranslationUnit &original,
+             const std::string &kernel, const TranslationUnit &broken,
+             const hls::HlsConfig &config, const fuzz::TestSuite &suite,
+             const interp::ValueProfile &profile,
+             const SearchOptions &options)
+{
+    return Search(ctx, original, kernel, broken, config, suite, profile,
                   options)
         .run();
 }

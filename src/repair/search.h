@@ -27,6 +27,10 @@
 #include "repair/edit.h"
 #include "repair/memo.h"
 
+namespace heterogen {
+class RunContext;
+}
+
 namespace heterogen::repair {
 
 /** Search configuration. */
@@ -135,6 +139,25 @@ struct SearchResult
  * @param profile   value profile of the original under the suite
  */
 SearchResult repairSearch(const cir::TranslationUnit &original,
+                          const std::string &kernel,
+                          const cir::TranslationUnit &broken,
+                          const hls::HlsConfig &config,
+                          const fuzz::TestSuite &suite,
+                          const interp::ValueProfile &profile,
+                          const SearchOptions &options = {});
+
+/**
+ * Spine-aware variant: opens a "repair" span budgeted at
+ * options.budget_minutes, charges every style-check/edit/synthesis/
+ * difftest minute through the context, bumps search.* counters
+ * (candidates, style checks/rejections, memo hits/misses, edits,
+ * reverts) plus the hls.* and difftest.* counters of the stages it
+ * drives, and stops early on cancellation or an exhausted enclosing
+ * budget. With a fresh context the SearchResult is byte-identical to
+ * the plain overload (the golden-trace tests pin this).
+ */
+SearchResult repairSearch(RunContext &ctx,
+                          const cir::TranslationUnit &original,
                           const std::string &kernel,
                           const cir::TranslationUnit &broken,
                           const hls::HlsConfig &config,

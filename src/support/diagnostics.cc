@@ -4,15 +4,32 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "support/strings.h"
+
 namespace heterogen {
 
 namespace {
 
-// The only mutable process-wide state in the support layer. Atomic so
-// worker threads (difftest/fuzz evaluation) can log while another
-// thread adjusts verbosity without a data race; message bytes still
-// interleave per ostream semantics, which is acceptable for logs.
+// Mutable process-wide state of the support layer: the level filter and
+// the sink pointer. Both atomic so worker threads (difftest/fuzz
+// evaluation) can log while another thread adjusts verbosity or swaps
+// the sink without a data race; message bytes still interleave per
+// sink semantics, which is acceptable for logs.
 std::atomic<LogLevel> g_min_level{LogLevel::Warn};
+std::atomic<LogSink *> g_sink{nullptr};
+
+/** Apply HETEROGEN_LOG once, before the first explicit get/set wins. */
+void
+applyEnvLogLevel()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *env = std::getenv("HETEROGEN_LOG")) {
+            if (auto level = parseLogLevel(env))
+                g_min_level = *level;
+        }
+    });
+}
 
 const char *
 levelName(LogLevel level)
@@ -28,16 +45,72 @@ levelName(LogLevel level)
 
 } // namespace
 
+std::optional<LogLevel>
+parseLogLevel(const std::string &name)
+{
+    std::string lower = toLower(trim(name));
+    if (lower == "debug")
+        return LogLevel::Debug;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "warn")
+        return LogLevel::Warn;
+    if (lower == "error")
+        return LogLevel::Error;
+    return std::nullopt;
+}
+
+std::string
+formatLogLine(LogLevel level, const std::string &message)
+{
+    return std::string("[") + levelName(level) + "] " + message;
+}
+
 void
 setLogLevel(LogLevel level)
 {
+    applyEnvLogLevel();
     g_min_level = level;
 }
 
 LogLevel
 logLevel()
 {
+    applyEnvLogLevel();
     return g_min_level;
+}
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    return g_sink.exchange(sink);
+}
+
+LogSink *
+logSink()
+{
+    return g_sink.load();
+}
+
+void
+MemoryLogSink::write(LogLevel level, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_.push_back(formatLogLine(level, message));
+}
+
+std::vector<std::string>
+MemoryLogSink::lines() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+}
+
+void
+MemoryLogSink::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_.clear();
 }
 
 namespace detail {
@@ -45,10 +118,16 @@ namespace detail {
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    applyEnvLogLevel();
     if (static_cast<int>(level) <
         static_cast<int>(g_min_level.load(std::memory_order_relaxed)))
         return;
-    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+    if (LogSink *sink = g_sink.load()) {
+        sink->write(level, msg);
+        return;
+    }
+    // Default sink: stderr, byte-for-byte the historical format.
+    std::cerr << formatLogLine(level, msg) << "\n";
 }
 
 } // namespace detail
@@ -69,3 +148,4 @@ SourceLoc::str() const
 }
 
 } // namespace heterogen
+

@@ -11,14 +11,62 @@
 #define HETEROGEN_SUPPORT_DIAGNOSTICS_H
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace heterogen {
 
 /** Severity of a log message. */
 enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Parse "debug" / "info" / "warn" / "error" (case-insensitive). */
+std::optional<LogLevel> parseLogLevel(const std::string &name);
+
+/**
+ * Destination of already-filtered log records. The process-wide sink
+ * is pluggable (setLogSink) so a RunContext can capture or redirect a
+ * run's diagnostics; the default sink writes to stderr exactly as the
+ * pre-sink implementation did.
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    /** One record that passed the level filter. */
+    virtual void write(LogLevel level, const std::string &message) = 0;
+};
+
+/** "[level] message" — the canonical log line (no trailing newline). */
+std::string formatLogLine(LogLevel level, const std::string &message);
+
+/**
+ * Install the process-wide sink; nullptr restores the stderr default.
+ * Returns the previously installed sink (nullptr if it was the
+ * default). The caller keeps ownership of `sink` and must keep it
+ * alive until it is detached.
+ */
+LogSink *setLogSink(LogSink *sink);
+
+/** Currently installed sink (nullptr when the stderr default is active). */
+LogSink *logSink();
+
+/** Sink collecting formatted lines in memory (tests, trace capture). */
+class MemoryLogSink : public LogSink
+{
+  public:
+    void write(LogLevel level, const std::string &message) override;
+
+    std::vector<std::string> lines() const;
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::string> lines_;
+};
 
 /**
  * Error thrown by fatal(): the library cannot continue because of a
@@ -48,7 +96,14 @@ concat(Args &&...args)
 
 } // namespace detail
 
-/** Set the minimum level that logMessage actually prints. */
+/**
+ * Set the minimum level that logMessage actually prints.
+ *
+ * The initial level is Warn, overridable once at startup via the
+ * HETEROGEN_LOG environment variable (debug|info|warn|error — the same
+ * pattern HETEROGEN_JOBS uses for the worker pool); explicit calls to
+ * setLogLevel always win over the environment.
+ */
 void setLogLevel(LogLevel level);
 
 /** Get the current minimum log level. */

@@ -1,0 +1,121 @@
+#include "support/run_context.h"
+
+#include "support/diagnostics.h"
+
+namespace heterogen {
+
+RunContext::RunContext() : trace_("run")
+{
+    budgets_.push_back(Budget::unlimited());
+}
+
+RunContext::~RunContext()
+{
+    detachLogSink();
+}
+
+double
+RunContext::now() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return clock_.now();
+}
+
+double
+RunContext::stageMinutes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_.current().minutes;
+}
+
+void
+RunContext::charge(double minutes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_.advance(minutes);
+    trace_.charge(minutes);
+}
+
+void
+RunContext::count(const std::string &key, int64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_.count(key, delta);
+}
+
+bool
+RunContext::deadlineExceeded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto &open = trace_.openSpans();
+    for (size_t i = 0; i < open.size(); ++i) {
+        if (budgets_[i].exceededBy(open[i]->minutes))
+            return true;
+    }
+    return false;
+}
+
+std::string
+RunContext::traceJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_.json();
+}
+
+void
+RunContext::attachLogSink(LogSink *sink)
+{
+    detachLogSink();
+    if (!sink)
+        return;
+    installed_sink_ = sink;
+    previous_sink_ = setLogSink(sink);
+}
+
+void
+RunContext::detachLogSink()
+{
+    if (!installed_sink_)
+        return;
+    // Only restore if nobody else swapped the sink in the meantime.
+    if (logSink() == installed_sink_)
+        setLogSink(previous_sink_);
+    installed_sink_ = nullptr;
+    previous_sink_ = nullptr;
+}
+
+TraceSpan &
+RunContext::pushSpan(std::string name, Budget budget)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceSpan &span = trace_.beginSpan(std::move(name));
+    budgets_.push_back(budget);
+    return span;
+}
+
+void
+RunContext::popSpan()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_.endSpan();
+    budgets_.pop_back();
+}
+
+SpanScope::SpanScope(RunContext &ctx, std::string name, Budget budget)
+    : ctx_(ctx), span_(&ctx.pushSpan(std::move(name), budget))
+{
+}
+
+SpanScope::~SpanScope()
+{
+    ctx_.popSpan();
+}
+
+double
+SpanScope::minutes() const
+{
+    std::lock_guard<std::mutex> lock(ctx_.mu_);
+    return span_->minutes;
+}
+
+} // namespace heterogen

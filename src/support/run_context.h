@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The RunContext spine: one simulated clock, hierarchical budgets,
+ * cancellation and a structured trace shared by every pipeline stage.
+ *
+ * The paper's pipeline (Fig. 1) is a single budgeted loop — fuzz,
+ * profile, repair, difftest — so the reproduction models it as one
+ * spine instead of per-module clock arithmetic: every simulated-minute
+ * charge flows through RunContext::charge(), every stage opens a
+ * SpanScope, and a stage asks one question — deadlineExceeded() — to
+ * learn whether its own budget, any enclosing budget, or a caller's
+ * cancellation should stop it.
+ *
+ * Determinism contract: charges are made by the stage-driving thread
+ * and accumulate per open span in charge order, so a stage's minutes
+ * are bit-identical to the pre-spine per-module sums (the golden-trace
+ * tests pin this). Counters may be bumped from worker threads; they
+ * are integer sums, hence thread-count invariant.
+ */
+
+#ifndef HETEROGEN_SUPPORT_RUN_CONTEXT_H
+#define HETEROGEN_SUPPORT_RUN_CONTEXT_H
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/trace.h"
+
+namespace heterogen {
+
+class LogSink;
+
+/** Simulated wall-clock: advances only by explicit charges. */
+class SimClock
+{
+  public:
+    double now() const { return now_minutes_; }
+    void advance(double minutes) { now_minutes_ += minutes; }
+
+  private:
+    double now_minutes_ = 0;
+};
+
+/** A simulated-minutes allowance attached to one span. */
+struct Budget
+{
+    double limit_minutes = std::numeric_limits<double>::infinity();
+
+    static Budget unlimited() { return {}; }
+
+    static Budget
+    minutes(double m)
+    {
+        Budget b;
+        b.limit_minutes = m;
+        return b;
+    }
+
+    bool
+    isUnlimited() const
+    {
+        return limit_minutes ==
+               std::numeric_limits<double>::infinity();
+    }
+
+    /** Exhausted once the span has been charged `limit_minutes`. */
+    bool
+    exceededBy(double elapsed_minutes) const
+    {
+        return !isUnlimited() && elapsed_minutes >= limit_minutes;
+    }
+};
+
+/**
+ * Per-run state shared by the whole pipeline. Create one per
+ * HeteroGen::run (the facade does this for you) or per standalone
+ * stage invocation; thread it by reference.
+ */
+class RunContext
+{
+  public:
+    RunContext();
+    ~RunContext();
+    RunContext(const RunContext &) = delete;
+    RunContext &operator=(const RunContext &) = delete;
+
+    /** Simulated minutes since the context was created. */
+    double now() const;
+
+    /** Minutes charged to the innermost open span. */
+    double stageMinutes() const;
+
+    /** Advance the clock; attributes to every open span. */
+    void charge(double minutes);
+
+    /** Bump a counter on the innermost open span (thread-safe). */
+    void count(const std::string &key, int64_t delta = 1);
+
+    /** Is any open span (stage or ancestor) over its budget? */
+    bool deadlineExceeded() const;
+
+    /** Cooperative cancellation, checked between loop iterations. */
+    void requestCancel() { cancelled_.store(true); }
+    bool cancelled() const { return cancelled_.load(); }
+
+    /** The one stop predicate stages consult: budget or cancellation. */
+    bool shouldStop() const { return cancelled() || deadlineExceeded(); }
+
+    const Trace &trace() const { return trace_; }
+    std::string traceJson() const;
+
+    /**
+     * Route support/diagnostics log lines through `sink` for this
+     * context's lifetime (or until detachLogSink). Passing the lines
+     * through the default sink preserves stderr output byte-for-byte.
+     */
+    void attachLogSink(LogSink *sink);
+    void detachLogSink();
+
+  private:
+    friend class SpanScope;
+
+    TraceSpan &pushSpan(std::string name, Budget budget);
+    void popSpan();
+
+    mutable std::mutex mu_;
+    SimClock clock_;
+    Trace trace_;
+    /** Budgets parallel to trace_.openSpans() (index 0 = root). */
+    std::vector<Budget> budgets_;
+    std::atomic<bool> cancelled_{false};
+
+    LogSink *installed_sink_ = nullptr;
+    LogSink *previous_sink_ = nullptr;
+};
+
+/** RAII stage span: opens on construction, closes on destruction. */
+class SpanScope
+{
+  public:
+    SpanScope(RunContext &ctx, std::string name,
+              Budget budget = Budget::unlimited());
+    ~SpanScope();
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** Minutes charged to this span so far. */
+    double minutes() const;
+
+    const TraceSpan &span() const { return *span_; }
+
+  private:
+    RunContext &ctx_;
+    TraceSpan *span_;
+};
+
+} // namespace heterogen
+
+#endif // HETEROGEN_SUPPORT_RUN_CONTEXT_H

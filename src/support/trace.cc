@@ -1,0 +1,367 @@
+#include "support/trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/diagnostics.h"
+
+namespace heterogen {
+
+// --- TraceSpan -----------------------------------------------------------
+
+int64_t
+TraceSpan::counter(const std::string &key) const
+{
+    auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+}
+
+int64_t
+TraceSpan::counterTotal(const std::string &key) const
+{
+    int64_t total = counter(key);
+    for (const auto &child : children)
+        total += child->counterTotal(key);
+    return total;
+}
+
+const TraceSpan *
+TraceSpan::child(const std::string &child_name) const
+{
+    for (const auto &c : children) {
+        if (c->name == child_name)
+            return c.get();
+    }
+    return nullptr;
+}
+
+const TraceSpan *
+TraceSpan::find(const std::string &span_name) const
+{
+    if (name == span_name)
+        return this;
+    for (const auto &c : children) {
+        if (const TraceSpan *hit = c->find(span_name))
+            return hit;
+    }
+    return nullptr;
+}
+
+double
+TraceSpan::childMinutes() const
+{
+    double total = 0;
+    for (const auto &c : children)
+        total += c->minutes;
+    return total;
+}
+
+namespace {
+
+/** Shortest decimal form that parses back to the same double. */
+std::string
+numberToJson(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+stringToJson(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+spanToJson(const TraceSpan &span, std::string &out)
+{
+    out += "{\"name\":";
+    out += stringToJson(span.name);
+    out += ",\"start\":";
+    out += numberToJson(span.start_minutes);
+    out += ",\"minutes\":";
+    out += numberToJson(span.minutes);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto &[key, value] : span.counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += stringToJson(key);
+        out += ':';
+        out += std::to_string(value);
+    }
+    out += "},\"children\":[";
+    first = true;
+    for (const auto &child : span.children) {
+        if (!first)
+            out += ',';
+        first = false;
+        spanToJson(*child, out);
+    }
+    out += "]}";
+}
+
+} // namespace
+
+std::string
+TraceSpan::json() const
+{
+    std::string out;
+    spanToJson(*this, out);
+    return out;
+}
+
+// --- Trace ---------------------------------------------------------------
+
+Trace::Trace(std::string root_name)
+{
+    root_ = std::make_unique<TraceSpan>();
+    root_->name = std::move(root_name);
+    open_.push_back(root_.get());
+}
+
+TraceSpan &
+Trace::beginSpan(std::string name)
+{
+    TraceSpan &parent = current();
+    auto span = std::make_unique<TraceSpan>();
+    span->name = std::move(name);
+    span->start_minutes = now();
+    span->parent = &parent;
+    TraceSpan &ref = *span;
+    parent.children.push_back(std::move(span));
+    open_.push_back(&ref);
+    return ref;
+}
+
+void
+Trace::endSpan()
+{
+    if (open_.size() <= 1)
+        panic("Trace::endSpan: no span is open besides the root");
+    open_.pop_back();
+}
+
+void
+Trace::charge(double minutes)
+{
+    // Every open span keeps its own accumulator: a stage's total is the
+    // exact sum of its own charges regardless of surrounding stages.
+    for (TraceSpan *span : open_)
+        span->minutes += minutes;
+}
+
+void
+Trace::count(const std::string &key, int64_t delta)
+{
+    current().counters[key] += delta;
+}
+
+int64_t
+Trace::counterTotal(const std::string &key) const
+{
+    return root_->counterTotal(key);
+}
+
+// --- JSON parsing --------------------------------------------------------
+
+namespace {
+
+/** Schema-directed recursive-descent parser for TraceSpan::json(). */
+class TraceJsonParser
+{
+  public:
+    explicit TraceJsonParser(const std::string &text) : text_(text) {}
+
+    std::unique_ptr<TraceSpan>
+    parse()
+    {
+        auto span = parseSpan();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after span object");
+        return span;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        fatal("trace JSON parse error at offset ", pos_, ": ", what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char ch)
+    {
+        if (peek() != ch)
+            fail(std::string("expected '") + ch + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char ch)
+    {
+        if (pos_ < text_.size() && peek() == ch) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char ch = text_[pos_++];
+            if (ch == '"')
+                return out;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                long code = std::strtol(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                // The writer only escapes ASCII control characters.
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double value = std::strtod(start, &end);
+        if (end == start)
+            fail("expected a number");
+        pos_ += static_cast<size_t>(end - start);
+        return value;
+    }
+
+    void
+    parseCounters(TraceSpan &span)
+    {
+        expect('{');
+        if (consumeIf('}'))
+            return;
+        do {
+            std::string key = parseString();
+            expect(':');
+            span.counters[key] =
+                static_cast<int64_t>(parseNumber());
+        } while (consumeIf(','));
+        expect('}');
+    }
+
+    std::unique_ptr<TraceSpan>
+    parseSpan()
+    {
+        auto span = std::make_unique<TraceSpan>();
+        expect('{');
+        do {
+            std::string key = parseString();
+            expect(':');
+            if (key == "name") {
+                span->name = parseString();
+            } else if (key == "start") {
+                span->start_minutes = parseNumber();
+            } else if (key == "minutes") {
+                span->minutes = parseNumber();
+            } else if (key == "counters") {
+                parseCounters(*span);
+            } else if (key == "children") {
+                expect('[');
+                if (!consumeIf(']')) {
+                    do {
+                        auto child = parseSpan();
+                        child->parent = span.get();
+                        span->children.push_back(std::move(child));
+                    } while (consumeIf(','));
+                    expect(']');
+                }
+            } else {
+                fail("unknown key '" + key + "'");
+            }
+        } while (consumeIf(','));
+        expect('}');
+        return span;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSpan>
+parseTraceJson(const std::string &text)
+{
+    return TraceJsonParser(text).parse();
+}
+
+} // namespace heterogen

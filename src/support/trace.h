@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Structured tracing of one pipeline run: a tree of named spans, each
+ * accumulating simulated minutes and typed counters.
+ *
+ * The span tree is the observability backbone of the RunContext spine
+ * (support/run_context.h): every stage of the pipeline — fuzzing,
+ * profiling, repair, difftesting, HLS synthesis — opens a span, charges
+ * its simulated cost to it, and bumps counters (candidates evaluated,
+ * memo hits, coverage edges, ...). Charges propagate to every open
+ * ancestor, and crucially each span keeps its *own* accumulator started
+ * at zero: a stage's minutes are the exact floating-point sum of the
+ * charges made while it was open, in charge order, independent of what
+ * ran before it. The golden-trace tests rely on this bit-for-bit.
+ *
+ * JSON export (and a schema-directed parser for round-tripping) lets
+ * bench binaries and external tooling attribute cost per stage; see
+ * docs/TRACING.md for the schema.
+ */
+
+#ifndef HETEROGEN_SUPPORT_TRACE_H
+#define HETEROGEN_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace heterogen {
+
+/** One node of the span tree. */
+struct TraceSpan
+{
+    std::string name;
+    /** Trace clock (root minutes) when the span opened. */
+    double start_minutes = 0;
+    /** Simulated minutes charged while this span was open. */
+    double minutes = 0;
+    /** Typed event counters bumped while this span was current. */
+    std::map<std::string, int64_t> counters;
+    std::vector<std::unique_ptr<TraceSpan>> children;
+    /** Owning span; null for the root. */
+    TraceSpan *parent = nullptr;
+
+    /** Counter value, 0 when absent. */
+    int64_t counter(const std::string &key) const;
+
+    /** Counter summed over this span and all descendants. */
+    int64_t counterTotal(const std::string &key) const;
+
+    /** First direct child with the name; null when absent. */
+    const TraceSpan *child(const std::string &child_name) const;
+
+    /** Depth-first search over the whole subtree; null when absent. */
+    const TraceSpan *find(const std::string &span_name) const;
+
+    /** Sum of the direct children's minutes. */
+    double childMinutes() const;
+
+    /** Subtree as a JSON object (round-trips via parseTraceJson). */
+    std::string json() const;
+};
+
+/**
+ * A trace: one always-open root span plus a stack of open spans.
+ *
+ * Structure mutation (open/close) and charge() are meant for the
+ * driving thread; RunContext adds the locking that lets worker threads
+ * bump counters concurrently.
+ */
+class Trace
+{
+  public:
+    explicit Trace(std::string root_name = "run");
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+    const TraceSpan &root() const { return *root_; }
+    TraceSpan &root() { return *root_; }
+
+    /** Innermost open span (the root when none other is open). */
+    TraceSpan &current() { return *open_.back(); }
+    const TraceSpan &current() const { return *open_.back(); }
+
+    /** All open spans, outermost (root) first. */
+    const std::vector<TraceSpan *> &openSpans() const { return open_; }
+
+    /** Open a child span of the current span and make it current. */
+    TraceSpan &beginSpan(std::string name);
+
+    /** Close the current span (the root cannot be closed). */
+    void endSpan();
+
+    /** Charge simulated minutes to every open span. */
+    void charge(double minutes);
+
+    /** Bump a counter on the current span. */
+    void count(const std::string &key, int64_t delta = 1);
+
+    /** Counter summed over the whole tree. */
+    int64_t counterTotal(const std::string &key) const;
+
+    /** Root minutes — the trace-local simulated clock. */
+    double now() const { return root_->minutes; }
+
+    std::string json() const { return root_->json(); }
+
+  private:
+    std::unique_ptr<TraceSpan> root_;
+    std::vector<TraceSpan *> open_;
+};
+
+/**
+ * Parse a span tree previously produced by TraceSpan::json().
+ * @throws FatalError on malformed input.
+ */
+std::unique_ptr<TraceSpan> parseTraceJson(const std::string &text);
+
+} // namespace heterogen
+
+#endif // HETEROGEN_SUPPORT_TRACE_H

@@ -17,6 +17,7 @@
 #include "cir/sema.h"
 #include "fuzz/fuzzer.h"
 #include "repair/difftest.h"
+#include "support/run_context.h"
 #include "support/worker_pool.h"
 
 namespace heterogen {
@@ -278,6 +279,70 @@ TEST(ParallelFuzz, SameCorpusAndCoverageAcrossThreadCounts)
             SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
                          std::to_string(threads));
             expectSameFuzz(serial, parallel);
+        }
+    }
+}
+
+// --- trace invariance ----------------------------------------------------
+
+/**
+ * The RunContext trace must be as thread-count invariant as the results
+ * it observes: charges happen on the driving thread in input order, and
+ * counters are integer sums, so the whole span tree — minutes bit for
+ * bit, counters, nesting — serializes identically at 1, 2 and 8 host
+ * threads.
+ */
+TEST(ParallelTrace, FuzzTraceJsonIdenticalAcrossThreadCounts)
+{
+    auto tu = program(kOriginal);
+    cir::SemaResult sema = cir::analyzeOrDie(*tu);
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        fuzz::FuzzOptions options;
+        options.rng_seed = seed;
+        options.max_executions = 150;
+        options.mutations_per_input = 8;
+        options.min_suite_size = 16;
+        options.max_steps_per_run = 100000;
+
+        options.threads = 1;
+        RunContext serial_ctx;
+        fuzz::fuzzKernel(serial_ctx, *tu, "kernel", sema, options);
+        std::string serial_json = serial_ctx.traceJson();
+
+        for (int threads : kThreadCounts) {
+            options.threads = threads;
+            RunContext ctx;
+            fuzz::fuzzKernel(ctx, *tu, "kernel", sema, options);
+            SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
+                         std::to_string(threads));
+            EXPECT_EQ(ctx.traceJson(), serial_json);
+        }
+    }
+}
+
+TEST(ParallelTrace, DiffTestTraceJsonIdenticalAcrossThreadCounts)
+{
+    auto orig = program(kOriginal);
+    auto cand = program(kDivergent);
+    hls::HlsConfig config = hls::HlsConfig::forTop("kernel");
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        fuzz::TestSuite suite = suiteForSeed(*orig, seed);
+
+        RunContext serial_ctx;
+        repair::diffTest(serial_ctx, *orig, "kernel", *cand, config,
+                         suite, repair::DiffTestOptions{});
+        std::string serial_json = serial_ctx.traceJson();
+
+        for (int threads : kThreadCounts) {
+            WorkerPool pool(threads);
+            repair::DiffTestOptions opts;
+            opts.pool = &pool;
+            RunContext ctx;
+            repair::diffTest(ctx, *orig, "kernel", *cand, config, suite,
+                             opts);
+            SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
+                         std::to_string(threads));
+            EXPECT_EQ(ctx.traceJson(), serial_json);
         }
     }
 }
