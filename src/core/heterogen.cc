@@ -35,6 +35,23 @@ validateOptions(const HeteroGenOptions &options)
     if (options.search.difftest_sim_workers < 1)
         fatal("HeteroGen: search.difftest_sim_workers must be >= 1, "
               "got ", options.search.difftest_sim_workers);
+    if (options.retry.max_attempts < 1)
+        fatal("HeteroGen: retry.max_attempts must be >= 1, got ",
+              options.retry.max_attempts);
+    if (options.retry.backoff_minutes < 0)
+        fatal("HeteroGen: retry.backoff_minutes must be >= 0, got ",
+              options.retry.backoff_minutes);
+    if (options.retry.backoff_factor < 0)
+        fatal("HeteroGen: retry.backoff_factor must be >= 0, got ",
+              options.retry.backoff_factor);
+    for (const FaultRule &rule : options.faults.rules) {
+        if (rule.probability < 0 || rule.probability > 1)
+            fatal("HeteroGen: fault probability for '", rule.site,
+                  "' must be in [0, 1], got ", rule.probability);
+        if (rule.latency_minutes >= 0 && rule.latencyMinutes() < 0)
+            fatal("HeteroGen: fault latency for '", rule.site,
+                  "' must be >= 0, got ", rule.latency_minutes);
+    }
 }
 
 interp::ValueProfile
@@ -79,6 +96,17 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
         fatal("HeteroGen: kernel '", options.kernel,
               "' not found in program");
 
+    // Arm fault injection: explicit options win, then the
+    // HETEROGEN_FAULTS environment spec, then whatever the caller
+    // already armed on the context (possibly nothing).
+    if (!options.faults.empty()) {
+        ctx.installFaults(options.faults, options.retry);
+    } else if (!ctx.faultsEnabled()) {
+        FaultPlan env_plan = FaultPlan::fromEnv();
+        if (!env_plan.empty())
+            ctx.installFaults(std::move(env_plan), options.retry);
+    }
+
     Budget pipeline_budget =
         options.pipeline_budget_minutes > 0
             ? Budget::minutes(options.pipeline_budget_minutes)
@@ -122,6 +150,7 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
 
     report.hls_source = cir::print(*report.search.program);
     report.final_loc = countLines(report.hls_source);
+    report.degradations = report.search.degradations;
     report.total_minutes = pipeline.minutes();
     report.trace_json = ctx.traceJson();
     return report;

@@ -45,6 +45,21 @@ struct HeteroGenOptions
      */
     double pipeline_budget_minutes = 0;
 
+    /**
+     * Fault plan injected into the toolchain sites for this run (see
+     * docs/FAULTS.md). Empty = the HETEROGEN_FAULTS environment spec
+     * if set, else no injection. Non-empty plans take precedence over
+     * both the environment and a plan already armed on a caller
+     * context.
+     */
+    FaultPlan faults;
+    /**
+     * Retry schedule for faulted toolchain invocations: bounded
+     * attempts with exponential backoff charged to the simulated
+     * clock. Only consulted while a fault plan is armed.
+     */
+    RetryPolicy retry;
+
     fuzz::FuzzOptions fuzz;
     repair::SearchOptions search;
     hls::HlsConfig config;
@@ -53,7 +68,10 @@ struct HeteroGenOptions
 /**
  * Reject malformed options with a FatalError before any stage runs:
  * empty kernel, negative budgets, non-positive difftest sim-worker
- * counts. (Kernel existence is checked against the program by run().)
+ * counts, retry policies that could never attempt anything or would
+ * wait negative time, and fault rules with out-of-range probabilities
+ * or latencies. (Kernel existence is checked against the program by
+ * run().)
  */
 void validateOptions(const HeteroGenOptions &options);
 
@@ -81,10 +99,20 @@ struct HeteroGenReport
      * documented in docs/TRACING.md; parse with parseTraceJson).
      */
     std::string trace_json;
+    /**
+     * Permanent toolchain failures the pipeline degraded around
+     * ("site: consequence", from SearchResult::degradations). Empty on
+     * a clean run. A degraded run never reports ok(): its artifacts
+     * are best-effort, not verified.
+     */
+    std::vector<std::string> degradations;
+
+    bool degraded() const { return !degradations.empty(); }
 
     bool ok() const
     {
-        return search.hls_compatible && search.behavior_preserved;
+        return search.hls_compatible && search.behavior_preserved &&
+               !degraded();
     }
 };
 

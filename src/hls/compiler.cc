@@ -58,6 +58,12 @@ HlsToolchain::compile(const TranslationUnit &tu)
 CompileResult
 HlsToolchain::compile(RunContext &ctx, const TranslationUnit &tu)
 {
+    if (!admitFaultSite(ctx, "hls.compile")) {
+        CompileResult failed;
+        failed.tool_failure = true;
+        failed.errors.push_back(diag::toolFailure("hls.compile"));
+        return failed;
+    }
     CompileResult result = compile(tu);
     ctx.charge(result.synth_minutes);
     ctx.count("hls.compiles");

@@ -32,6 +32,13 @@ namespace heterogen::hls {
 struct CompileResult
 {
     bool ok = false;
+    /**
+     * The toolchain itself failed (injected licence hiccup / timeout /
+     * crash that persisted through every retry) — the design was never
+     * actually judged. Callers must branch on this before reading
+     * `errors`: a tool failure says nothing about the candidate.
+     */
+    bool tool_failure = false;
     std::vector<HlsError> errors;
     ResourceEstimate resources;
     /** Simulated synthesis wall-clock cost in minutes. */
@@ -71,6 +78,13 @@ class HlsToolchain
      * context's current span and bumps hls.compiles plus one
      * hls.errors.<category-slug> counter per diagnostic. The compile
      * outcome (including synth_minutes) is identical to compile(tu).
+     *
+     * This overload is also the "hls.compile" fault site: when the
+     * context has a FaultPlan armed, each invocation is gated through
+     * admitFaultSite — injected faults charge their latency, retries
+     * back off on the simulated clock, and a permanently-failing
+     * toolchain returns a CompileResult with tool_failure set (no
+     * synthesis performed, no hls.compiles bump).
      */
     CompileResult compile(RunContext &ctx, const cir::TranslationUnit &tu);
 

@@ -244,6 +244,15 @@ badInterfacePragma(const std::string &detail, SourceLoc loc)
                 ErrorCategory::TopFunction, "", loc);
 }
 
+HlsError
+toolFailure(const std::string &site)
+{
+    return make("HLS 000-1",
+                "toolchain failure at '" + site +
+                    "' persisted after retries; no result produced.",
+                ErrorCategory::TopFunction, "", SourceLoc{});
+}
+
 } // namespace diag
 
 } // namespace heterogen::hls

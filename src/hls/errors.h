@@ -81,6 +81,13 @@ HlsError invalidClock(double mhz);
 HlsError unknownDevice(const std::string &device);
 HlsError badInterfacePragma(const std::string &detail, SourceLoc loc);
 
+/**
+ * The simulated toolchain itself failed at `site` (injected fault that
+ * persisted through every retry) — not a property of the design. Only
+ * produced by the fault-injection layer (support/faults.h).
+ */
+HlsError toolFailure(const std::string &site);
+
 } // namespace diag
 
 } // namespace heterogen::hls

@@ -721,6 +721,8 @@ std::vector<HlsError>
 checkSynthesizability(RunContext &ctx, const TranslationUnit &tu,
                       const HlsConfig &config)
 {
+    if (!admitFaultSite(ctx, "hls.synth_check"))
+        return {diag::toolFailure("hls.synth_check")};
     std::vector<HlsError> errors = Checker(tu, config).run();
     ctx.count("hls.synth_checks");
     for (const HlsError &error : errors)

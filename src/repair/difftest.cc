@@ -30,6 +30,12 @@ diffTestImpl(RunContext *ctx, const cir::TranslationUnit &original,
              const DiffTestOptions &options)
 {
     DiffTestResult result;
+    if (ctx && !admitFaultSite(*ctx, "difftest.cosim")) {
+        // The shared co-sim session never came up: no tests ran, no
+        // campaign cost beyond what the faults already charged.
+        result.tool_failure = true;
+        return result;
+    }
     int limit = options.max_tests > 0
                     ? std::min<int>(options.max_tests, int(suite.size()))
                     : int(suite.size());

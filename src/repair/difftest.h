@@ -49,6 +49,14 @@ struct DiffTestOptions
 /** Outcome of one differential-testing campaign. */
 struct DiffTestResult
 {
+    /**
+     * The co-simulation session itself failed (injected fault that
+     * persisted through every retry): no test was executed and the
+     * campaign says nothing about the candidate. Callers must branch
+     * on this before interpreting pass counts — total is 0, so
+     * passRatio() would otherwise read as a clean pass.
+     */
+    bool tool_failure = false;
     int total = 0;
     int identical = 0;
     /** Indices of tests with divergent behaviour. */
@@ -95,6 +103,12 @@ DiffTestResult diffTest(const cir::TranslationUnit &original,
  * difftest.mismatches, and threads the context into the interpreter
  * runs (interp.* counters). Pass/fail results and sim_minutes are
  * identical to the plain overload.
+ *
+ * Also the "difftest.cosim" fault site: with a FaultPlan armed on the
+ * context the whole campaign is gated through admitFaultSite (the
+ * fault models the shared co-simulation session dying, not one test),
+ * and a permanent failure returns a DiffTestResult with tool_failure
+ * set and zero tests run.
  */
 DiffTestResult diffTest(RunContext &ctx,
                         const cir::TranslationUnit &original,

@@ -67,6 +67,15 @@ class Search
                 continue;
 
             hls::CompileResult compiled = compileCandidate();
+            if (compiled.tool_failure) {
+                // Synthesis is permanently down: without compiles no
+                // candidate can ever be validated, so abort gracefully
+                // with whatever the search already proved.
+                degrade("hls.compile",
+                        "toolchain permanently failing; search aborted "
+                        "with best-so-far candidate");
+                break;
+            }
             if (!compiled.ok) {
                 if (!repairStep(compiled.errors)) {
                     if (!backtrack())
@@ -76,6 +85,10 @@ class Search
             }
 
             DiffTestResult fitness = difftestCandidate();
+            if (fitness.tool_failure) {
+                acceptDegradedCosim();
+                break;
+            }
             note("difftest:" + std::to_string(fitness.identical) + "/" +
                  std::to_string(fitness.total));
             if (fitness.allIdentical()) {
@@ -133,6 +146,12 @@ class Search
         }
         hls::HlsToolchain tool(config_);
         hls::CompileResult compiled = tool.compile(ctx_, *cand_);
+        if (compiled.tool_failure) {
+            // The toolchain, not the candidate, failed: never memoize
+            // (a revisit of this candidate deserves a fresh attempt).
+            note("compile:tool-failure");
+            return compiled;
+        }
         result_.full_hls_invocations += 1;
         note("compile:" + std::string(compiled.ok ? "ok" : "errors"));
         if (options_.use_memo)
@@ -157,7 +176,7 @@ class Search
         dt.pool = &pool_;
         DiffTestResult fitness = diffTest(ctx_, original_, kernel_,
                                           *cand_, config_, suite_, dt);
-        if (options_.use_memo)
+        if (options_.use_memo && !fitness.tool_failure)
             memo_.storeDiffTest(fingerprint_, fitness);
         return fitness;
     }
@@ -312,6 +331,38 @@ class Search
         last_good_config_ = config_;
         last_good_applied_ = applied_;
         resize_attempts_ = 0;
+    }
+
+    /** Record one permanent toolchain failure the search survives. */
+    void
+    degrade(const std::string &site, const std::string &consequence)
+    {
+        result_.tool_failures += 1;
+        result_.degradations.push_back(site + ": " + consequence);
+        ctx_.count("search.tool_failures");
+        note("tool-failure:" + site);
+    }
+
+    /**
+     * Co-simulation is permanently down: fitness can no longer be
+     * measured, so downgrade to style-check + compile fitness. The
+     * current candidate compiled cleanly (and, when the gate is on,
+     * passed the style checker), so keep it as the best available
+     * artifact — flagged, never claimed behaviour-preserving.
+     */
+    void
+    acceptDegradedCosim()
+    {
+        degrade("difftest.cosim",
+                "co-simulation permanently failing; candidate fitness "
+                "downgraded to style-check + compile only");
+        result_.cosim_degraded = true;
+        ctx_.count("search.degraded_candidates");
+        if (!best_) {
+            result_.hls_compatible = true;
+            best_ = cand_->clone();
+            best_config_ = config_;
+        }
     }
 
     /** Apply performance-improving edits; false when none applied.

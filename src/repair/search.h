@@ -109,6 +109,23 @@ struct SearchResult
     int full_hls_invocations = 0;
     int style_checks = 0;
     int style_rejections = 0;
+    /**
+     * Permanent toolchain failures the search degraded around, as
+     * "site: consequence" notes (empty = clean run). A degraded result
+     * is best-effort: downstream consumers must not treat it as a
+     * verified success even when earlier candidates did pass.
+     */
+    std::vector<std::string> degradations;
+    /**
+     * Co-simulation failed permanently, so the reported candidate was
+     * accepted on style-check + compile fitness alone:
+     * hls_compatible may be true while behavior_preserved stays false.
+     */
+    bool cosim_degraded = false;
+    /** Toolchain invocations that faulted through every retry. */
+    int tool_failures = 0;
+
+    bool degraded() const { return !degradations.empty(); }
     /** Candidate-memo counters (hits avoided toolchain/difftest work). */
     MemoStats memo;
 
@@ -155,6 +172,12 @@ SearchResult repairSearch(const cir::TranslationUnit &original,
  * drives, and stops early on cancellation or an exhausted enclosing
  * budget. With a fresh context the SearchResult is byte-identical to
  * the plain overload (the golden-trace tests pin this).
+ *
+ * When the context has a FaultPlan armed (support/faults.h), the
+ * toolchain sites it drives may fail permanently; the search then
+ * degrades instead of crashing — a dead co-sim downgrades fitness to
+ * style-check + compile only, a dead compiler aborts with the best
+ * candidate so far — and records every degradation in the result.
  */
 SearchResult repairSearch(RunContext &ctx,
                           const cir::TranslationUnit &original,

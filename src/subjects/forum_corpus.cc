@@ -139,6 +139,69 @@ instantiate(const char *format, const std::string &symbol)
     return out;
 }
 
+/**
+ * Minimal repro program a post in `category` quotes next to its error,
+ * with the offending symbol spliced in. Each is valid CIR and actually
+ * exhibits the category it illustrates.
+ */
+std::string
+snippetFor(ErrorCategory category, const std::string &symbol)
+{
+    const char *format = "";
+    switch (category) {
+      case ErrorCategory::DynamicDataStructures:
+        format = "int kernel(int n) {\n"
+                 "    int *%s = (int*)malloc(sizeof(int) * n);\n"
+                 "    %s[0] = n;\n"
+                 "    int out = %s[0];\n"
+                 "    free(%s);\n"
+                 "    return out;\n"
+                 "}\n";
+        break;
+      case ErrorCategory::UnsupportedDataTypes:
+        format = "int kernel(int x) {\n"
+                 "    long double %s = x;\n"
+                 "    %s = %s + 1;\n"
+                 "    return %s;\n"
+                 "}\n";
+        break;
+      case ErrorCategory::DataflowOptimization:
+        format = "void fill(int %s[16]) {\n"
+                 "    for (int i = 0; i < 16; i++) { %s[i] = i; }\n"
+                 "}\n"
+                 "int kernel(int n) {\n"
+                 "    #pragma HLS dataflow\n"
+                 "    int %s[16];\n"
+                 "    fill(%s);\n"
+                 "    return %s[0] + n;\n"
+                 "}\n";
+        break;
+      case ErrorCategory::LoopParallelization:
+        format = "int kernel(int n) {\n"
+                 "    int %s = 0;\n"
+                 "    for (int i = 0; i < n; i++) {\n"
+                 "        #pragma HLS unroll factor=4\n"
+                 "        %s += i;\n"
+                 "    }\n"
+                 "    return %s;\n"
+                 "}\n";
+        break;
+      case ErrorCategory::StructAndUnion:
+        format = "union %s { int bits; float real; };\n"
+                 "int kernel(int x) {\n"
+                 "    union %s u;\n"
+                 "    u.bits = x;\n"
+                 "    return u.bits;\n"
+                 "}\n";
+        break;
+      case ErrorCategory::TopFunction:
+        format = "int %s(int x) { return x + 1; }\n"
+                 "int kernel(int x) { return %s(x); }\n";
+        break;
+    }
+    return instantiate(format, symbol);
+}
+
 const char *kSymbols[] = {
     "line_buf_a", "data", "tmp", "A", "curr", "my_func", "If2",
     "in_ld", "root", "acc", "frame", "weights", "top_fn", "xcvu9p",
@@ -174,6 +237,7 @@ generateForumCorpus(int n, uint64_t seed)
             post.post_id = post_id + int(rng.below(400000));
             post.title = tpl.title;
             post.message = instantiate(tpl.message, symbol);
+            post.snippet = snippetFor(category, symbol);
             post.ground_truth = category;
             posts.push_back(std::move(post));
         }

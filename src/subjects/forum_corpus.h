@@ -25,6 +25,12 @@ struct ForumPost
     int post_id = 0;
     std::string title;
     std::string message; ///< the quoted toolchain error text
+    /**
+     * The minimal repro program quoted in the post (CIR subset, always
+     * parseable) — real forum posts attach the offending code next to
+     * the error, and the printer property tests round-trip every one.
+     */
+    std::string snippet;
     hls::ErrorCategory ground_truth;
 };
 

@@ -55,6 +55,52 @@ RunContext::deadlineExceeded() const
     return false;
 }
 
+void
+RunContext::installFaults(FaultPlan plan, RetryPolicy policy)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_ = plan.empty()
+                  ? nullptr
+                  : std::make_unique<FaultInjector>(std::move(plan));
+    retry_ = policy;
+}
+
+bool
+RunContext::faultsEnabled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_ != nullptr;
+}
+
+const FaultPlan *
+RunContext::faultPlan() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_ ? &faults_->plan() : nullptr;
+}
+
+std::optional<Fault>
+RunContext::drawFault(const std::string &site)
+{
+    std::optional<Fault> fault;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!faults_)
+            return std::nullopt;
+        fault = faults_->draw(site);
+        if (!fault)
+            return std::nullopt;
+        // Charge and count under the same lock acquisition the draw
+        // used; sites are driving-thread only, so this is ordering, not
+        // atomicity.
+        clock_.advance(fault->latency_minutes);
+        trace_.charge(fault->latency_minutes);
+        trace_.count("fault.injected");
+        trace_.count("fault." + site);
+    }
+    return fault;
+}
+
 std::string
 RunContext::traceJson() const
 {

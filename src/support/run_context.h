@@ -23,10 +23,13 @@
 
 #include <atomic>
 #include <limits>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "support/faults.h"
 #include "support/trace.h"
 
 namespace heterogen {
@@ -113,6 +116,33 @@ class RunContext
     std::string traceJson() const;
 
     /**
+     * Arm fault injection for this run: `plan` drives the instrumented
+     * toolchain sites (see docs/FAULTS.md), `policy` bounds the retries
+     * admitFaultSite() performs on their behalf. Installing an empty
+     * plan disarms injection. A plan whose rules all have probability 0
+     * leaves the run bit-identical to an uninstrumented one.
+     */
+    void installFaults(FaultPlan plan, RetryPolicy policy = {});
+
+    /** Is a non-empty fault plan installed? */
+    bool faultsEnabled() const;
+
+    /** The installed plan (null when faults are disarmed). */
+    const FaultPlan *faultPlan() const;
+
+    /** Retry schedule used by admitFaultSite (meaningful when armed). */
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /**
+     * Consult the plan for one invocation of `site`. When a fault
+     * fires, its latency is charged to the clock and fault.injected /
+     * fault.<site> counters are bumped on the current span; otherwise
+     * clock and trace are untouched. Most sites want admitFaultSite()
+     * (support/faults.h), which adds the retry loop on top.
+     */
+    std::optional<Fault> drawFault(const std::string &site);
+
+    /**
      * Route support/diagnostics log lines through `sink` for this
      * context's lifetime (or until detachLogSink). Passing the lines
      * through the default sink preserves stderr output byte-for-byte.
@@ -132,6 +162,10 @@ class RunContext
     /** Budgets parallel to trace_.openSpans() (index 0 = root). */
     std::vector<Budget> budgets_;
     std::atomic<bool> cancelled_{false};
+
+    /** Armed fault-injection state; null when no plan is installed. */
+    std::unique_ptr<FaultInjector> faults_;
+    RetryPolicy retry_;
 
     LogSink *installed_sink_ = nullptr;
     LogSink *previous_sink_ = nullptr;

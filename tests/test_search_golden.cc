@@ -149,5 +149,71 @@ difftest:10/10
                  /*sim_minutes=*/17.311806);
 }
 
+/**
+ * Faulty-run golden: the type-chain subject under a pinned fault plan
+ * and retry policy. Retries absorb every injected fault, so the action
+ * sequence must stay byte-identical to the fault-free golden above
+ * while the simulated minutes grow by the exact fault-latency and
+ * backoff charges — pinning both means the retry/backoff charge
+ * ordering (and the hash-draw streams behind it) cannot drift
+ * unnoticed.
+ */
+TEST(SearchGolden, FaultyTypeChainReplaysExactly)
+{
+    core::HeteroGenOptions opts = goldenOptions();
+    opts.faults = FaultPlan::parse(
+        "hls.compile:0.2:transient,difftest.cosim:0.1:timeout", 1);
+    opts.retry.max_attempts = 3;
+    opts.retry.backoff_minutes = 1.0;
+    opts.retry.backoff_factor = 2.0;
+
+    core::HeteroGen engine(kTypeChainSubject);
+    RunContext ctx;
+    auto report = engine.run(ctx, opts);
+
+    std::vector<std::string> actions;
+    for (const auto &step : report.search.trace)
+        actions.push_back(step.action);
+    EXPECT_EQ(join(actions, "\n"), trim(R"(
+style-reject: long double variable 'v'
+noop:insert($a1:arr,$d1:dyn)
+style-reject: long double variable 'v'
+noop:insert($a1:arr,$d1:dyn)
+style-reject: long double variable 'v'
+noop:insert($a1:arr,$d1:dyn)
+style-reject: long double variable 'v'
+noop:array_static($a1:arr,$i1:int)
+style-reject: long double variable 'v'
+noop:array_static($a1:arr,$i1:int)
+style-reject: long double variable 'v'
+noop:array_static($a1:arr,$i1:int)
+style-reject: long double variable 'v'
+edit:type_trans($v1:var)
+compile:errors
+edit:type_casting($v1:var)
+compile:ok
+difftest:10/10
+noop:explore_partition($p1:pragma,$a1:arr)
+noop:segment($a1:arr)
+noop:pipeline($l1:loop)
+)"));
+    EXPECT_TRUE(report.ok());
+    EXPECT_DOUBLE_EQ(report.search.pass_ratio, 1.0);
+
+    // Plan seed 1 injects three transient faults (all inside the
+    // search span), each cleared by a retry: 3 x 0.5 fault minutes
+    // plus 1 + 2 + 1 backoff minutes on top of the fault-free golden
+    // (search 4.150046, pipeline 6.5500625).
+    const TraceSpan &root = ctx.trace().root();
+    EXPECT_EQ(root.counterTotal("fault.injected"), 3)
+        << "=== actual injected";
+    EXPECT_EQ(root.counterTotal("fault.retries"), 3);
+    EXPECT_EQ(root.counterTotal("fault.gave_up"), 0);
+    EXPECT_NEAR(report.search.sim_minutes, 9.650046, 1e-6)
+        << "=== actual sim_minutes: " << report.search.sim_minutes;
+    EXPECT_NEAR(report.total_minutes, 12.0500625, 1e-6)
+        << "=== actual total_minutes: " << report.total_minutes;
+}
+
 } // namespace
 } // namespace heterogen::repair

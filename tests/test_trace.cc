@@ -493,10 +493,57 @@ TEST(ValidateOptions, RejectsNonPositiveSimWorkers)
     EXPECT_THROW(core::validateOptions(opts), FatalError);
 }
 
+TEST(ValidateOptions, RejectsZeroMaxAttempts)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.retry.max_attempts = 0; // could never attempt anything
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+}
+
+TEST(ValidateOptions, RejectsNegativeMaxAttempts)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.retry.max_attempts = -3;
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+}
+
+TEST(ValidateOptions, RejectsNegativeBackoffMinutes)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.retry.backoff_minutes = -1.0; // would wait negative time
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+}
+
+TEST(ValidateOptions, RejectsNegativeBackoffFactor)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.retry.backoff_factor = -0.5;
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+}
+
+TEST(ValidateOptions, RejectsOutOfRangeFaultProbability)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.faults.rules.push_back(
+        FaultRule{"hls.compile", 1.5, FaultKind::Transient, -1});
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+    opts.faults.rules[0].probability = -0.1;
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+}
+
 TEST(ValidateOptions, AcceptsTheDefaultsWithAKernel)
 {
     core::HeteroGenOptions opts;
     opts.kernel = "kernel";
+    EXPECT_NO_THROW(core::validateOptions(opts));
+    // The no-retry policy is a legal (if spartan) configuration.
+    opts.retry = RetryPolicy::none();
+    opts.faults = FaultPlan::parse("hls.compile:0.1:transient");
     EXPECT_NO_THROW(core::validateOptions(opts));
 }
 
