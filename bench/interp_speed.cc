@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Interpreter engine throughput on the fuzz loop (docs/INTERP.md).
+ *
+ * For every subject this bench builds the fuzzer's regression suite
+ * once, then measures host-side kernel executions per second for the
+ * tree-walk and bytecode engines over exactly the runs the fuzz loop
+ * performs (coverage sink attached, fresh memory per run). It also
+ * times whole fuzz campaigns per engine — the engines are bit-identical
+ * so both campaigns do exactly the same simulated work.
+ *
+ * Writes BENCH_interp.json (override with --out <path>) so the
+ * trajectory of the evaluate step is tracked across PRs.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cir/parser.h"
+#include "cir/sema.h"
+#include "fuzz/fuzzer.h"
+#include "interp/interp.h"
+#include "subjects/subjects.h"
+
+namespace heterogen {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+struct SubjectRow
+{
+    std::string id;
+    int suite_size = 0;
+    double walk_execs_per_sec = 0;
+    double vm_execs_per_sec = 0;
+    double campaign_speedup = 0;
+
+    double speedup() const { return vm_execs_per_sec / walk_execs_per_sec; }
+};
+
+/**
+ * Executions/second of the fuzz loop's evaluate step: run the suite
+ * round-robin under `engine` until the wall budget elapses, with the
+ * coverage sink the fuzzer feedback uses.
+ */
+double
+measureExecsPerSec(interp::Interpreter &interp, const std::string &kernel,
+                   const fuzz::TestSuite &suite, interp::EngineKind engine,
+                   double budget_seconds)
+{
+    interp::RunOptions opts;
+    opts.engine = engine;
+    opts.max_steps = 400'000;
+
+    // Warm-up: one pass over the suite (pays the bytecode compile).
+    for (const auto &test : suite.cases()) {
+        interp::CoverageMap cov;
+        opts.coverage = &cov;
+        interp.run(kernel, test.args, opts);
+    }
+
+    long execs = 0;
+    Clock::time_point begin = Clock::now();
+    double elapsed = 0;
+    while (elapsed < budget_seconds) {
+        for (const auto &test : suite.cases()) {
+            interp::CoverageMap cov;
+            opts.coverage = &cov;
+            interp.run(kernel, test.args, opts);
+            ++execs;
+        }
+        elapsed = seconds(begin, Clock::now());
+    }
+    return double(execs) / elapsed;
+}
+
+double
+geomean(const std::vector<SubjectRow> &rows,
+        double (*field)(const SubjectRow &))
+{
+    double log_sum = 0;
+    for (const auto &r : rows)
+        log_sum += std::log(field(r));
+    return std::exp(log_sum / double(rows.size()));
+}
+
+} // namespace
+} // namespace heterogen
+
+int
+main(int argc, char **argv)
+{
+    using namespace heterogen;
+
+    std::string out_path = "BENCH_interp.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else if (a.rfind("--out=", 0) == 0)
+            out_path = a.substr(6);
+        else
+            std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+    }
+
+    std::printf("Interpreter engine throughput on the fuzz loop\n");
+    std::printf("%-4s %6s %14s %14s %8s %9s\n", "id", "suite",
+                "tree_walk e/s", "bytecode e/s", "speedup", "campaign");
+
+    std::vector<SubjectRow> rows;
+    for (const auto &subject : subjects::allSubjects()) {
+        auto tu = cir::parse(subject.source);
+        cir::SemaResult sema = cir::analyzeOrDie(*tu);
+
+        fuzz::FuzzOptions fuzz_opts;
+        fuzz_opts.host_function = subject.host;
+        fuzz_opts.rng_seed = subject.fuzz_seed;
+        fuzz_opts.max_executions = 800;
+        fuzz_opts.mutations_per_input = 12;
+        fuzz_opts.max_steps_per_run = 400'000;
+        fuzz_opts.engine = interp::EngineKind::TreeWalk;
+
+        // Whole-campaign wall clock per engine (identical simulated work).
+        Clock::time_point t0 = Clock::now();
+        fuzz::FuzzResult campaign =
+            fuzz::fuzzKernel(*tu, subject.kernel, sema, fuzz_opts);
+        double walk_campaign = seconds(t0, Clock::now());
+
+        fuzz_opts.engine = interp::EngineKind::Bytecode;
+        t0 = Clock::now();
+        fuzz::fuzzKernel(*tu, subject.kernel, sema, fuzz_opts);
+        double vm_campaign = seconds(t0, Clock::now());
+
+        SubjectRow row;
+        row.id = subject.id;
+        row.suite_size = int(campaign.suite.size());
+        row.campaign_speedup = walk_campaign / vm_campaign;
+
+        interp::Interpreter interp(*tu);
+        row.walk_execs_per_sec =
+            measureExecsPerSec(interp, subject.kernel, campaign.suite,
+                               interp::EngineKind::TreeWalk, 0.4);
+        row.vm_execs_per_sec =
+            measureExecsPerSec(interp, subject.kernel, campaign.suite,
+                               interp::EngineKind::Bytecode, 0.4);
+
+        std::printf("%-4s %6d %14.0f %14.0f %7.2fx %8.2fx\n",
+                    row.id.c_str(), row.suite_size,
+                    row.walk_execs_per_sec, row.vm_execs_per_sec,
+                    row.speedup(), row.campaign_speedup);
+        rows.push_back(row);
+    }
+
+    double exec_speedup =
+        geomean(rows, [](const SubjectRow &r) { return r.speedup(); });
+    double campaign_speedup = geomean(
+        rows, [](const SubjectRow &r) { return r.campaign_speedup; });
+    std::printf("geomean: %.2fx executions/sec, %.2fx whole campaign\n",
+                exec_speedup, campaign_speedup);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"interp_speed\",\n");
+    std::fprintf(f, "  \"workload\": \"fuzz-loop executions/sec\",\n");
+    std::fprintf(f, "  \"geomean_exec_speedup\": %.2f,\n", exec_speedup);
+    std::fprintf(f, "  \"geomean_campaign_speedup\": %.2f,\n",
+                 campaign_speedup);
+    std::fprintf(f, "  \"subjects\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SubjectRow &r = rows[i];
+        std::fprintf(f,
+                     "    {\"id\": \"%s\", \"suite\": %d, "
+                     "\"tree_walk_execs_per_sec\": %.0f, "
+                     "\"bytecode_execs_per_sec\": %.0f, "
+                     "\"exec_speedup\": %.2f, "
+                     "\"campaign_speedup\": %.2f}%s\n",
+                     r.id.c_str(), r.suite_size, r.walk_execs_per_sec,
+                     r.vm_execs_per_sec, r.speedup(), r.campaign_speedup,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,5 +1,8 @@
 #include "cir/type.h"
 
+#include <map>
+#include <mutex>
+
 #include "support/diagnostics.h"
 
 namespace heterogen::cir {
@@ -141,6 +144,12 @@ Type::equals(const Type &other) const
 bool
 sameType(const TypePtr &a, const TypePtr &b)
 {
+    return sameType(a.get(), b.get());
+}
+
+bool
+sameType(const Type *a, const Type *b)
+{
     if (a == b)
         return true;
     if (!a || !b)
@@ -227,12 +236,36 @@ Type::longDoubleType()
     return t;
 }
 
+// Compound types are interned: each distinct type is built once and
+// lives for the process, so equal types share one instance (cheap
+// equality) and the interpreter may hold raw Type* without ownership.
+namespace {
+
+template <typename Key, typename Build>
+TypePtr
+interned(std::map<Key, TypePtr> &cache, const Key &key, Build build)
+{
+    static std::mutex mu; // one lock for all caches: creation is rare
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    TypePtr t = build();
+    cache.emplace(key, t);
+    return t;
+}
+
+} // namespace
+
 TypePtr
 Type::fpgaInt(int width)
 {
     if (width <= 0 || width > 1024)
         fatal("fpga_int width out of range: ", width);
-    return TypeBuilder::build(TypeKind::FpgaInt, width);
+    static std::map<int, TypePtr> cache;
+    return interned(cache, width, [&] {
+        return TypeBuilder::build(TypeKind::FpgaInt, width);
+    });
 }
 
 TypePtr
@@ -240,7 +273,10 @@ Type::fpgaUint(int width)
 {
     if (width <= 0 || width > 1024)
         fatal("fpga_uint width out of range: ", width);
-    return TypeBuilder::build(TypeKind::FpgaUint, width);
+    static std::map<int, TypePtr> cache;
+    return interned(cache, width, [&] {
+        return TypeBuilder::build(TypeKind::FpgaUint, width);
+    });
 }
 
 TypePtr
@@ -248,35 +284,52 @@ Type::fpgaFloat(int exponent_bits, int mantissa_bits)
 {
     if (exponent_bits <= 0 || mantissa_bits <= 0)
         fatal("fpga_float with non-positive field widths");
-    return TypeBuilder::build(TypeKind::FpgaFloat, 0, exponent_bits,
-                              mantissa_bits);
+    static std::map<std::pair<int, int>, TypePtr> cache;
+    return interned(cache, std::pair(exponent_bits, mantissa_bits), [&] {
+        return TypeBuilder::build(TypeKind::FpgaFloat, 0, exponent_bits,
+                                  mantissa_bits);
+    });
 }
 
 TypePtr
 Type::pointer(TypePtr element)
 {
-    return TypeBuilder::build(TypeKind::Pointer, 0, 0, 0,
-                              std::move(element));
+    // Interned elements are canonical, so the raw pointer is the key.
+    static std::map<const Type *, TypePtr> cache;
+    return interned(cache, static_cast<const Type *>(element.get()), [&] {
+        return TypeBuilder::build(TypeKind::Pointer, 0, 0, 0,
+                                  std::move(element));
+    });
 }
 
 TypePtr
 Type::array(TypePtr element, long size)
 {
-    return TypeBuilder::build(TypeKind::Array, 0, 0, 0, std::move(element),
-                              size);
+    static std::map<std::pair<const Type *, long>, TypePtr> cache;
+    return interned(cache, std::pair(element.get(), size), [&] {
+        return TypeBuilder::build(TypeKind::Array, 0, 0, 0,
+                                  std::move(element), size);
+    });
 }
 
 TypePtr
 Type::structType(std::string name)
 {
-    return TypeBuilder::build(TypeKind::Struct, 0, 0, 0, nullptr, 0,
-                              std::move(name));
+    static std::map<std::string, TypePtr> cache;
+    return interned(cache, name, [&] {
+        return TypeBuilder::build(TypeKind::Struct, 0, 0, 0, nullptr, 0,
+                                  name);
+    });
 }
 
 TypePtr
 Type::stream(TypePtr element)
 {
-    return TypeBuilder::build(TypeKind::Stream, 0, 0, 0, std::move(element));
+    static std::map<const Type *, TypePtr> cache;
+    return interned(cache, static_cast<const Type *>(element.get()), [&] {
+        return TypeBuilder::build(TypeKind::Stream, 0, 0, 0,
+                                  std::move(element));
+    });
 }
 
 } // namespace heterogen::cir

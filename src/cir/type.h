@@ -116,6 +116,21 @@ class Type
 /** Convenience equality over shared pointers (null-safe). */
 bool sameType(const TypePtr &a, const TypePtr &b);
 
+/** Same, over raw interned pointers (null-safe). */
+bool sameType(const Type *a, const Type *b);
+
+inline bool
+sameType(const Type *a, const TypePtr &b)
+{
+    return sameType(a, b.get());
+}
+
+inline bool
+sameType(const TypePtr &a, const Type *b)
+{
+    return sameType(a.get(), b);
+}
+
 } // namespace heterogen::cir
 
 #endif // HETEROGEN_CIR_TYPE_H

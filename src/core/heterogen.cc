@@ -44,6 +44,10 @@ validateOptions(const HeteroGenOptions &options)
     if (options.retry.backoff_factor < 0)
         fatal("HeteroGen: retry.backoff_factor must be >= 0, got ",
               options.retry.backoff_factor);
+    interp::EngineKind parsed_engine;
+    if (!interp::parseEngineName(options.engine, &parsed_engine))
+        fatal("HeteroGen: unknown engine '", options.engine,
+              "' (expected tree_walk, bytecode or differential)");
     for (const FaultRule &rule : options.faults.rules) {
         if (rule.probability < 0 || rule.probability > 1)
             fatal("HeteroGen: fault probability for '", rule.site,
@@ -56,27 +60,33 @@ validateOptions(const HeteroGenOptions &options)
 
 interp::ValueProfile
 profileUnderSuite(const TranslationUnit &tu, const std::string &kernel,
-                  const fuzz::TestSuite &suite)
+                  const fuzz::TestSuite &suite,
+                  interp::EngineKind engine)
 {
     interp::ValueProfile profile;
+    interp::Interpreter interp(tu);
     for (const fuzz::TestCase &test : suite.cases()) {
         interp::RunOptions opts;
         opts.profile = &profile;
-        interp::runProgram(tu, kernel, test.args, opts);
+        opts.engine = engine;
+        interp.run(kernel, test.args, opts);
     }
     return profile;
 }
 
 interp::ValueProfile
 profileUnderSuite(RunContext &ctx, const TranslationUnit &tu,
-                  const std::string &kernel, const fuzz::TestSuite &suite)
+                  const std::string &kernel, const fuzz::TestSuite &suite,
+                  interp::EngineKind engine)
 {
     interp::ValueProfile profile;
+    interp::Interpreter interp(tu);
     for (const fuzz::TestCase &test : suite.cases()) {
         interp::RunOptions opts;
         opts.profile = &profile;
         opts.trace = &ctx;
-        interp::runProgram(tu, kernel, test.args, opts);
+        opts.engine = engine;
+        interp.run(kernel, test.args, opts);
     }
     return profile;
 }
@@ -116,8 +126,19 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
     HeteroGenReport report;
     report.orig_loc = countLines(cir::print(*tu_));
 
-    // (1) Test input generation (opens the "fuzz" span).
+    // Resolve the pipeline-wide engine override (validated above).
     fuzz::FuzzOptions fuzz_opts = options.fuzz;
+    repair::SearchOptions search_opts = options.search;
+    interp::EngineKind profile_engine = fuzz_opts.engine;
+    if (!options.engine.empty()) {
+        interp::EngineKind engine = interp::defaultEngine();
+        interp::parseEngineName(options.engine, &engine);
+        fuzz_opts.engine = engine;
+        search_opts.engine = engine;
+        profile_engine = engine;
+    }
+
+    // (1) Test input generation (opens the "fuzz" span).
     if (fuzz_opts.host_function.empty())
         fuzz_opts.host_function = options.host_function;
     report.testgen = fuzz::fuzzKernel(ctx, *tu_, options.kernel, sema_,
@@ -127,7 +148,8 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
     {
         SpanScope profiling(ctx, "profile");
         report.profile = profileUnderSuite(ctx, *tu_, options.kernel,
-                                           report.testgen.suite);
+                                           report.testgen.suite,
+                                           profile_engine);
     }
     cir::TuPtr broken = tu_->clone();
     hls::HlsConfig config = options.config;
@@ -146,7 +168,7 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
     report.search = repair::repairSearch(ctx, *tu_, options.kernel,
                                          *broken, config,
                                          report.testgen.suite,
-                                         report.profile, options.search);
+                                         report.profile, search_opts);
 
     report.hls_source = cir::print(*report.search.program);
     report.final_loc = countLines(report.hls_source);

@@ -63,6 +63,14 @@ struct HeteroGenOptions
     fuzz::FuzzOptions fuzz;
     repair::SearchOptions search;
     hls::HlsConfig config;
+    /**
+     * Interpreter engine for every stage ("" = inherit each stage's own
+     * default, which honours HETEROGEN_ENGINE). Accepted names:
+     * "tree_walk", "bytecode", "differential"; anything else is
+     * rejected by validateOptions. Non-empty values override the
+     * fuzz/search/profiling engines wholesale.
+     */
+    std::string engine;
 };
 
 /**
@@ -150,15 +158,16 @@ class HeteroGen
  * Profile the program's value ranges by running every test in the suite
  * (used for initial HLS version generation).
  */
-interp::ValueProfile profileUnderSuite(const cir::TranslationUnit &tu,
-                                       const std::string &kernel,
-                                       const fuzz::TestSuite &suite);
+interp::ValueProfile
+profileUnderSuite(const cir::TranslationUnit &tu,
+                  const std::string &kernel, const fuzz::TestSuite &suite,
+                  interp::EngineKind engine = interp::defaultEngine());
 
 /** Spine-aware variant: bumps interp.* counters on the context. */
-interp::ValueProfile profileUnderSuite(RunContext &ctx,
-                                       const cir::TranslationUnit &tu,
-                                       const std::string &kernel,
-                                       const fuzz::TestSuite &suite);
+interp::ValueProfile
+profileUnderSuite(RunContext &ctx, const cir::TranslationUnit &tu,
+                  const std::string &kernel, const fuzz::TestSuite &suite,
+                  interp::EngineKind engine = interp::defaultEngine());
 
 } // namespace heterogen::core
 

@@ -107,6 +107,10 @@ fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
     Rng rng(options.rng_seed);
     Mutator mutator(kernelParamTypes(tu, kernel), rng);
 
+    // One interpreter for the whole campaign: the bytecode engine
+    // compiles the program once and every execution reuses it.
+    interp::Interpreter interp(tu);
+
     // --- getKernelSeed (Algorithm 1, line 4) -----------------------------
     std::vector<KernelArg> seed;
     if (!options.host_function.empty()) {
@@ -115,8 +119,8 @@ fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
         host_opts.captured_args = &seed;
         host_opts.max_steps = options.max_steps_per_run;
         host_opts.trace = &ctx;
-        interp::runProgram(tu, options.host_function, options.host_args,
-                           host_opts);
+        host_opts.engine = options.engine;
+        interp.run(options.host_function, options.host_args, host_opts);
     }
     if (seed.empty())
         seed = mutator.randomInput();
@@ -173,7 +177,8 @@ fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
             opts.coverage = &locals[i];
             opts.max_steps = options.max_steps_per_run;
             opts.trace = &ctx;
-            runs[i] = interp::runProgram(tu, kernel, batch[i], opts);
+            opts.engine = options.engine;
+            runs[i] = interp.run(kernel, batch[i], opts);
         });
         for (size_t i = 0; i < batch.size(); ++i) {
             if (result.executions >= options.max_executions ||
@@ -191,7 +196,8 @@ fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
         opts.coverage = &local;
         opts.max_steps = options.max_steps_per_run;
         opts.trace = &ctx;
-        RunResult run = interp::runProgram(tu, kernel, seed, opts);
+        opts.engine = options.engine;
+        RunResult run = interp.run(kernel, seed, opts);
         result.executions += 1;
         ctx.count("fuzz.executions");
         ctx.charge(executionMinutes(run));
@@ -229,12 +235,13 @@ measureCoverage(const cir::TranslationUnit &tu, const std::string &kernel,
     (void)sema;
     int branches = kernelBranchCount(tu, kernel);
     CoverageMap total(branches);
+    interp::Interpreter interp(tu);
     for (const TestCase &t : suite.cases()) {
         CoverageMap local(branches);
         RunOptions opts;
         opts.coverage = &local;
         opts.max_steps = max_steps_per_run;
-        interp::runProgram(tu, kernel, t.args, opts);
+        interp.run(kernel, t.args, opts);
         total.merge(local);
     }
     return total;

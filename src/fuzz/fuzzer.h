@@ -52,6 +52,13 @@ struct FuzzOptions
     /** Interpreter step cap per execution. */
     uint64_t max_steps_per_run = 2'000'000;
     /**
+     * Interpreter engine for the host run and every kernel execution.
+     * All engines are bit-identical (docs/INTERP.md), so the campaign's
+     * corpus, coverage and simulated clock do not depend on the choice;
+     * bytecode is simply faster on the host.
+     */
+    interp::EngineKind engine = interp::defaultEngine();
+    /**
      * Host threads executing each mutation batch (0 = HETEROGEN_JOBS /
      * hardware default). Purely an execution detail: mutation drawing
      * and corpus bookkeeping stay serial in input order, so the final

@@ -1,0 +1,1954 @@
+/**
+ * @file
+ * Dispatch-loop VM for the CIR bytecode (docs/INTERP.md).
+ *
+ * Every opcode handler is a transliteration of the walker fragment it
+ * replaces (src/interp/interp.cc is the source of truth): the same
+ * memory calls in the same order, the same cycle charges from the
+ * shared CpuCosts table, the same trap messages, the same coverage /
+ * value-profile / loop-profile records. Folded steps are applied via
+ * doSteps(), which clamps the counter to max_steps + 1 on overflow —
+ * exactly the value the walker's one-at-a-time increment leaves.
+ */
+
+#include "interp/bytecode/bytecode.h"
+
+#include <cmath>
+
+namespace heterogen::interp::bytecode {
+
+namespace testing {
+int corrupt_branch_event = -1;
+} // namespace testing
+
+namespace {
+
+using namespace cir;
+
+/** Operand-stack entry: a value, or a place (pointer + static type). */
+struct StackVal
+{
+    Value v;
+    const Type *t = nullptr;
+};
+
+/**
+ * Runtime view of one bound slot. Memory-resident slots hold a pointer
+ * to their cell; register slots (DeclReg / ParamPlan::Kind::Reg) hold
+ * the variable's value directly.
+ */
+struct Binding
+{
+    Value v;
+    const Type *type = nullptr;
+};
+
+/**
+ * Per-site inline cache keyed on static-type identity (types are
+ * interned for the process lifetime, so pointer equality is type
+ * equality). Misses recompute and refill; traps never populate the
+ * cache, so the trapping lookups re-run — and re-trap — exactly as
+ * the walker's per-access string resolution would.
+ */
+struct SiteCache
+{
+    const Type *key = nullptr;
+    const StructLayout *layout = nullptr; ///< MemberCombine
+    const Type *elem = nullptr;           ///< IndexCombine
+    long stride = 1;
+    int field = -1;
+};
+
+/** MethodBind receiver-type -> compiled-method cache, one per plan. */
+struct BindCache
+{
+    const Type *key = nullptr;
+    int fn_id = -1;
+};
+
+class VM
+{
+  public:
+    explicit VM(const Program &program)
+        : p_(program), caches_(size_t(program.num_caches)),
+          bind_caches_(program.methods.size())
+    {
+        stack_.reserve(64);
+        frames_.reserve(16);
+        slot_stack_.reserve(128);
+    }
+
+    /**
+     * Arm the VM for one run. Run-visible state — memory, stacks,
+     * counters — comes out as freshly constructed, but vector
+     * capacities and the type-keyed inline caches stay warm; cache
+     * contents depend only on the immutable Program and the interned
+     * types, never on run state, so reuse cannot change observables.
+     */
+    void
+    reset(const RunOptions &opts)
+    {
+        opts_ = &opts;
+        capture_enabled_ = !opts.capture_function.empty();
+        max_steps_ = opts.max_steps;
+        loop_profile_ = opts.loop_profile;
+        coverage_ = opts.coverage;
+        branch_log_ = opts.branch_log;
+        memory_.reset();
+        stack_.clear();
+        frames_.clear();
+        slot_stack_.clear();
+        globals_.clear();
+        static_streams_.clear();
+        loop_stack_.clear();
+        steps_ = 0;
+        cycles_ = 0;
+        branch_records_ = 0;
+        seed_captured_ = false;
+    }
+
+    RunResult
+    run(const std::string &function, const std::vector<KernelArg> &args)
+    {
+        RunResult result;
+        try {
+            frames_.push_back(Frame{&p_.globals, 0, 0, 0});
+            execLoop(0); // until Halt
+            auto fit = p_.function_ids.find(function);
+            if (fit == p_.function_ids.end())
+                throw Trap("no such function: " + function);
+            const CompiledFunction &fn = p_.functions[fit->second];
+            const auto &params = fn.decl->params;
+            std::vector<Value> arg_values;
+            std::vector<int32_t> arg_blocks(args.size(), 0);
+            std::vector<int32_t> arg_streams(args.size(), -1);
+            for (size_t i = 0; i < args.size(); ++i) {
+                if (i >= params.size())
+                    throw Trap("too many kernel arguments");
+                arg_values.push_back(materialize(args[i], params[i].type,
+                                                 arg_blocks[i],
+                                                 arg_streams[i]));
+            }
+            if (arg_values.size() != params.size())
+                throw Trap("missing kernel arguments for " + function);
+            for (const Value &v : arg_values)
+                push(v);
+            invoke(fit->second, int(arg_values.size()),
+                   stack_.size() - arg_values.size(), {});
+            execLoop(1); // until the top call returns
+            Value ret = popV();
+            if (!fn.ret_void) {
+                result.has_ret = true;
+                result.ret = valueToArg(ret);
+            }
+            for (size_t i = 0; i < args.size(); ++i) {
+                result.out_args.push_back(
+                    readBack(args[i], params[i].type, arg_blocks[i],
+                             arg_streams[i]));
+            }
+            result.ok = true;
+        } catch (const Trap &t) {
+            result.ok = false;
+            result.trap = t.what();
+        }
+        result.cycles = cycles_;
+        result.steps = steps_;
+        return result;
+    }
+
+  private:
+    struct Frame
+    {
+        const CompiledFunction *fn = nullptr;
+        int pc = 0;
+        size_t slot_base = 0; ///< this frame's span in slot_stack_
+        size_t loop_base = 0;
+    };
+
+    // --- bookkeeping (walker step/charge/recordBranch/profileStore) ----------
+
+    void
+    doSteps(uint32_t n)
+    {
+        if (n == 0)
+            return;
+        if (steps_ + n > max_steps_) {
+            // The walker increments one at a time and traps on the
+            // first step past the limit, leaving steps_ == max + 1.
+            steps_ = max_steps_ + 1;
+            throw Trap("step limit exceeded (possible non-termination)");
+        }
+        steps_ += n;
+    }
+
+    void
+    charge(uint64_t c)
+    {
+        cycles_ += c;
+        if (loop_profile_) {
+            if (loop_stack_.empty())
+                loop_profile_->root_cycles += c;
+            else
+                loop_profile_->loops[loop_stack_.back()]
+                    .cycles_exclusive += c;
+        }
+    }
+
+    void
+    recordBranch(int branch_id, bool taken)
+    {
+        charge(CpuCosts::kBranch);
+        if (testing::corrupt_branch_event >= 0 &&
+            branch_records_ == uint64_t(testing::corrupt_branch_event)) {
+            charge(1); // simulated single-opcode miscompile (tests only)
+        }
+        ++branch_records_;
+        if (coverage_)
+            coverage_->record(branch_id, taken);
+        if (branch_log_)
+            branch_log_->events.push_back(
+                {branch_id, taken, steps_, cycles_});
+    }
+
+    void
+    profileStore(int key, const Value &v)
+    {
+        if (!opts_->profile || key < 0)
+            return;
+        const std::string &name = p_.names[key];
+        if (v.isInt())
+            opts_->profile->note(name, v.asInt());
+        else if (v.isFloat())
+            opts_->profile->noteFloat(name, v.asFloat());
+    }
+
+    // --- layout / type helpers -----------------------------------------------
+
+    /** MemberCombine's field resolution: trap checks + inline cache. */
+    SiteCache &
+    memberCache(const Type *t, const Op &mop)
+    {
+        if (!t || !t->isStruct())
+            throw Trap("member access on non-struct");
+        SiteCache &c = caches_[size_t(mop.c)];
+        if (t != c.key) {
+            const StructLayout &layout = layoutOf(t->structName());
+            const std::string &field = p_.names[size_t(mop.a)];
+            int fi = layout.indexOf(field);
+            if (fi < 0)
+                throw Trap("no field '" + field + "' in struct " +
+                           t->structName());
+            c.key = t;
+            c.layout = &layout;
+            c.field = fi;
+        }
+        return c;
+    }
+
+    /** IndexCombine's element-place computation on explicit operands. */
+    std::pair<Place, const Type *>
+    indexElementAt(const Op &op, const Value &base_v, const Type *base_t,
+                   const Value &idx)
+    {
+        long i = idx.asInt();
+        charge(CpuCosts::kIntAlu);
+        long stride = 1;
+        const Type *elem = nullptr;
+        SiteCache &c = caches_[size_t(op.a)];
+        if (base_t && base_t == c.key) {
+            elem = c.elem;
+            stride = c.stride;
+        } else if (base_t &&
+                   (base_t->isArray() || base_t->isPointer())) {
+            elem = base_t->element().get();
+            stride = flatCells(elem);
+            c.key = base_t;
+            c.elem = elem;
+            c.stride = stride;
+        } else {
+            // Untyped base: the runtime block's type decides. Not
+            // cached — the answer depends on the block, not base_t.
+            const cir::Type *bt =
+                memory_.blockType(base_v.asPlace().block);
+            if (bt && bt->isStruct()) {
+                elem = bt;
+                stride = layoutOf(bt->structName()).size();
+            }
+        }
+        Place p = base_v.asPlace();
+        return {Place{p.block, p.offset + int32_t(i * stride)}, elem};
+    }
+
+    /** IndexCombine's element-place computation (pops index + base). */
+    std::pair<Place, const Type *>
+    indexElement(const Op &op)
+    {
+        Value idx = popV();
+        StackVal base = pop();
+        return indexElementAt(op, base.v, base.t, idx);
+    }
+
+    /** PlaceToValue's tail: decay aggregates, load scalars. */
+    void
+    placeToValue(Place p, const Type *t)
+    {
+        charge(CpuCosts::kMem);
+        if (t && (t->isArray() || t->isStruct()))
+            push(Value::makePointer(p)); // decay
+        else
+            push(memory_.load(p));
+    }
+
+    const StructLayout &
+    layoutOf(const std::string &name) const
+    {
+        auto it = p_.layout_ids.find(name);
+        if (it == p_.layout_ids.end())
+            throw Trap("unknown struct layout: " + name);
+        return p_.layouts[it->second];
+    }
+
+    long
+    flatCells(const Type *t) const
+    {
+        if (!t)
+            return 1;
+        if (t->isArray()) {
+            long n = t->arraySize();
+            if (n == kUnknownArraySize)
+                throw Trap("sizeof of unknown-size array");
+            return n * flatCells(t->element().get());
+        }
+        if (t->isStruct())
+            return layoutOf(t->structName()).size();
+        return 1;
+    }
+
+    long
+    placeStride(const Type *ptr_type) const
+    {
+        if (ptr_type && ptr_type->isPointer())
+            return flatCells(ptr_type->element().get());
+        return 1;
+    }
+
+    void
+    copyStruct(Place from, Place to, const StructLayout &layout)
+    {
+        for (int i = 0; i < layout.size(); ++i) {
+            Value v = memory_.load({from.block, from.offset + i});
+            memory_.store({to.block, to.offset + i}, v);
+            charge(CpuCosts::kMem);
+        }
+    }
+
+    // --- stack / slots --------------------------------------------------------
+
+    void
+    push(Value v, const Type *t = nullptr)
+    {
+        stack_.push_back({std::move(v), t});
+    }
+
+    StackVal
+    pop()
+    {
+        StackVal out = std::move(stack_.back());
+        stack_.pop_back();
+        return out;
+    }
+
+    Value popV() { return pop().v; }
+
+    Binding &
+    slotAt(int32_t encoded)
+    {
+        if (encoded >= 0)
+            return slot_stack_[frames_.back().slot_base +
+                               size_t(encoded)];
+        size_t g = size_t(-1 - encoded);
+        if (g >= globals_.size())
+            globals_.resize(g + 1);
+        return globals_[g];
+    }
+
+    /** Pop `n` evaluated arguments back into evaluation order. */
+    std::vector<Value>
+    popArgs(int n)
+    {
+        std::vector<Value> args(static_cast<size_t>(n));
+        for (int i = n - 1; i >= 0; --i)
+            args[size_t(i)] = popV();
+        return args;
+    }
+
+    // --- calls ----------------------------------------------------------------
+
+    /**
+     * Call functions[fn_id] with `argc` arguments sitting at the top of
+     * the operand stack (stack_[arg_base ..] in evaluation order). The
+     * stack is cut back to `arg_base` — callers that pushed extra
+     * bookkeeping below the arguments (method dispatch) pop it after.
+     */
+    void
+    invoke(int fn_id, int argc, size_t arg_base, Place self)
+    {
+        const CompiledFunction &fn = p_.functions[fn_id];
+        if (static_cast<int>(frames_.size()) > opts_->max_call_depth)
+            throw Trap("call depth exceeded (runaway recursion?)");
+        charge(CpuCosts::kCall);
+        if (capture_enabled_)
+            maybeCaptureSeed(fn.decl->name, arg_base, size_t(argc),
+                             *fn.decl);
+
+        Frame fr;
+        fr.fn = &fn;
+        fr.loop_base = loop_stack_.size();
+        fr.slot_base = slot_stack_.size();
+        slot_stack_.resize(fr.slot_base + size_t(fn.num_slots));
+
+        if (fn.owner_layout >= 0) {
+            const StructLayout &layout = p_.layouts[fn.owner_layout];
+            for (int i = 0; i < layout.size(); ++i)
+                slot_stack_[fr.slot_base + size_t(i)] =
+                    {Value::makePointer({self.block, self.offset + i}),
+                     layout.field_types[i]};
+        }
+
+        for (size_t i = 0; i < fn.params.size(); ++i) {
+            const ParamPlan &plan = fn.params[i];
+            const Value &arg = stack_[arg_base + i].v;
+            Binding b;
+            b.type = plan.bound.get();
+            switch (plan.kind) {
+              case ParamPlan::Kind::Handle: {
+                int32_t cell = memory_.allocate(1, nullptr);
+                memory_.storeRaw({cell, 0}, arg);
+                b.v = Value::makePointer({cell, 0});
+                break;
+              }
+              case ParamPlan::Kind::Struct: {
+                if (plan.layout < 0)
+                    throw Trap("unknown struct layout: " +
+                               plan.type->structName());
+                const StructLayout &layout = p_.layouts[plan.layout];
+                int32_t block = memory_.allocatePattern(
+                    1, plan.type, layout.field_types);
+                if (!arg.isPointer())
+                    throw Trap("struct argument mismatch");
+                copyStruct(arg.asPlace(), {block, 0}, layout);
+                b.v = Value::makePointer({block, 0});
+                break;
+              }
+              case ParamPlan::Kind::Scalar: {
+                int32_t cell = memory_.allocate(1, plan.type);
+                memory_.store({cell, 0}, arg);
+                profileStore(plan.profile_key,
+                             memory_.load({cell, 0}));
+                b.v = Value::makePointer({cell, 0});
+                break;
+              }
+              case ParamPlan::Kind::Reg: {
+                // As Scalar, minus the cell: coerce to the declared
+                // type and profile the coerced value.
+                b.v = coerceToType(arg, plan.type.get());
+                profileStore(plan.profile_key, b.v);
+                break;
+              }
+            }
+            slot_stack_[fr.slot_base + size_t(plan.slot)] = b;
+        }
+        stack_.resize(arg_base);
+        frames_.push_back(fr);
+    }
+
+    void
+    maybeCaptureSeed(const std::string &name, size_t arg_base,
+                     size_t argc, const FunctionDecl &fn)
+    {
+        if (opts_->capture_function.empty() ||
+            name != opts_->capture_function || !opts_->captured_args ||
+            seed_captured_) {
+            return;
+        }
+        seed_captured_ = true;
+        std::vector<KernelArg> captured;
+        for (size_t i = 0; i < argc; ++i) {
+            const TypePtr &pt = fn.params[i].type;
+            const Value &v = stack_[arg_base + i].v;
+            if ((pt->isArray() || pt->isPointer()) && v.isPointer()) {
+                Place p = v.asPlace();
+                int n = memory_.blockSize(p.block);
+                bool is_float = pt->element() && pt->element()->isFloating();
+                if (is_float) {
+                    std::vector<double> xs;
+                    for (int k = p.offset; k < n; ++k)
+                        xs.push_back(memory_.load({p.block, k}).asFloat());
+                    captured.push_back(KernelArg::ofFloats(std::move(xs)));
+                } else {
+                    std::vector<long> xs;
+                    for (int k = p.offset; k < n; ++k) {
+                        const Value &cell = memory_.load({p.block, k});
+                        xs.push_back(cell.isFloat() ? long(cell.asFloat())
+                                                    : cell.asInt());
+                    }
+                    captured.push_back(KernelArg::ofInts(std::move(xs)));
+                }
+            } else if (pt->isStream() && v.isStream()) {
+                // Snapshot without consuming.
+                size_t n = memory_.streamSize(v.streamId());
+                std::vector<long> xs;
+                for (size_t k = 0; k < n; ++k) {
+                    Value x = memory_.streamRead(v.streamId());
+                    xs.push_back(x.isFloat() ? long(x.asFloat())
+                                             : x.asInt());
+                    memory_.streamWrite(v.streamId(), x);
+                }
+                captured.push_back(KernelArg::ofInts(std::move(xs)));
+            } else if (v.isFloat()) {
+                captured.push_back(KernelArg::ofFloat(v.asFloat()));
+            } else {
+                captured.push_back(KernelArg::ofInt(v.asInt()));
+            }
+        }
+        *opts_->captured_args = std::move(captured);
+    }
+
+    // --- kernel-arg materialization (as the walker's) ------------------------
+
+    Value
+    materialize(const KernelArg &arg, const TypePtr &param_type,
+                int32_t &block_out, int32_t &stream_out)
+    {
+        if (param_type->isStream()) {
+            int32_t id = memory_.createStream();
+            stream_out = id;
+            if (arg.kind == KernelArg::Kind::IntArray) {
+                for (long v : arg.ints)
+                    memory_.streamWrite(
+                        id, coerceToType(Value::makeInt(v),
+                                         param_type->element()));
+            } else if (arg.kind == KernelArg::Kind::FloatArray) {
+                for (double v : arg.floats)
+                    memory_.streamWrite(
+                        id, coerceToType(Value::makeFloat(v),
+                                         param_type->element()));
+            }
+            return Value::makeStream(id);
+        }
+        if (param_type->isArray() || param_type->isPointer()) {
+            TypePtr elem = param_type->element();
+            int32_t block;
+            if (arg.kind == KernelArg::Kind::IntArray) {
+                block = memory_.allocate(int(arg.ints.size()), elem);
+                for (size_t k = 0; k < arg.ints.size(); ++k)
+                    memory_.store({block, int32_t(k)},
+                                  Value::makeInt(arg.ints[k]));
+            } else if (arg.kind == KernelArg::Kind::FloatArray) {
+                block = memory_.allocate(int(arg.floats.size()), elem);
+                for (size_t k = 0; k < arg.floats.size(); ++k)
+                    memory_.store({block, int32_t(k)},
+                                  Value::makeFloat(arg.floats[k]));
+            } else {
+                throw Trap("scalar kernel arg for array parameter");
+            }
+            block_out = block;
+            return Value::makePointer({block, 0});
+        }
+        if (arg.kind == KernelArg::Kind::Int)
+            return coerceToType(Value::makeInt(arg.i), param_type);
+        if (arg.kind == KernelArg::Kind::Float)
+            return coerceToType(Value::makeFloat(arg.f), param_type);
+        throw Trap("array kernel arg for scalar parameter");
+    }
+
+    KernelArg
+    readBack(const KernelArg &input, const TypePtr &param_type,
+             int32_t block, int32_t stream)
+    {
+        if (param_type->isStream()) {
+            bool is_float = param_type->element() &&
+                            param_type->element()->isFloating();
+            std::vector<long> iv;
+            std::vector<double> fv;
+            while (!memory_.streamEmpty(stream)) {
+                Value v = memory_.streamRead(stream);
+                if (is_float)
+                    fv.push_back(v.asFloat());
+                else
+                    iv.push_back(v.asInt());
+            }
+            return is_float ? KernelArg::ofFloats(std::move(fv))
+                            : KernelArg::ofInts(std::move(iv));
+        }
+        if (block > 0) {
+            int n = memory_.blockSize(block);
+            if (input.kind == KernelArg::Kind::FloatArray) {
+                std::vector<double> out(static_cast<size_t>(n));
+                for (int k = 0; k < n; ++k)
+                    out[size_t(k)] = memory_.load({block, k}).asFloat();
+                return KernelArg::ofFloats(std::move(out));
+            }
+            std::vector<long> out(static_cast<size_t>(n));
+            for (int k = 0; k < n; ++k) {
+                const Value &v = memory_.load({block, k});
+                out[size_t(k)] = v.isFloat() ? long(v.asFloat())
+                                             : v.asInt();
+            }
+            return KernelArg::ofInts(std::move(out));
+        }
+        return input; // scalars are passed by value
+    }
+
+    KernelArg
+    valueToArg(const Value &v) const
+    {
+        if (v.isFloat())
+            return KernelArg::ofFloat(v.asFloat());
+        return KernelArg::ofInt(v.asInt());
+    }
+
+    // --- arithmetic (as the walker's applyBinary) ----------------------------
+
+    Value
+    applyBinary(BinaryOp op, const Value &a, const Value &b)
+    {
+        // Int-int is by far the hottest shape; handle it with a single
+        // switch that both charges and computes. Same charges, traps
+        // and results as the general path below.
+        if (a.isInt() && b.isInt()) {
+            long x = a.asInt();
+            long y = b.asInt();
+            switch (op) {
+              case BinaryOp::Add:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x + y);
+              case BinaryOp::Sub:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x - y);
+              case BinaryOp::Mul:
+                charge(CpuCosts::kIntMul);
+                return Value::makeInt(x * y);
+              case BinaryOp::Div:
+                charge(CpuCosts::kIntDiv);
+                if (y == 0)
+                    throw Trap("integer division by zero");
+                return Value::makeInt(x / y);
+              case BinaryOp::Mod:
+                charge(CpuCosts::kIntDiv);
+                if (y == 0)
+                    throw Trap("integer modulo by zero");
+                return Value::makeInt(x % y);
+              case BinaryOp::Lt:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x < y);
+              case BinaryOp::Gt:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x > y);
+              case BinaryOp::Le:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x <= y);
+              case BinaryOp::Ge:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x >= y);
+              case BinaryOp::Eq:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x == y);
+              case BinaryOp::Ne:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x != y);
+              case BinaryOp::BitAnd:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x & y);
+              case BinaryOp::BitOr:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x | y);
+              case BinaryOp::BitXor:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x ^ y);
+              case BinaryOp::Shl:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x << (y & 63));
+              case BinaryOp::Shr:
+                charge(CpuCosts::kIntAlu);
+                return Value::makeInt(x >> (y & 63));
+              default:
+                charge(CpuCosts::kIntAlu);
+                throw Trap("unhandled integer operation");
+            }
+        }
+        if (a.isPointer() || b.isPointer())
+            return applyPointerBinary(op, a, b);
+        bool flt = a.isFloat() || b.isFloat();
+        switch (op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+            charge(flt ? CpuCosts::kFloatAlu : CpuCosts::kIntAlu);
+            break;
+          case BinaryOp::Mul:
+            charge(flt ? CpuCosts::kFloatMul : CpuCosts::kIntMul);
+            break;
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+            charge(flt ? CpuCosts::kFloatDiv : CpuCosts::kIntDiv);
+            break;
+          default:
+            charge(CpuCosts::kIntAlu);
+            break;
+        }
+        if (flt) {
+            double x = a.asFloat();
+            double y = b.asFloat();
+            switch (op) {
+              case BinaryOp::Add: return Value::makeFloat(x + y);
+              case BinaryOp::Sub: return Value::makeFloat(x - y);
+              case BinaryOp::Mul: return Value::makeFloat(x * y);
+              case BinaryOp::Div:
+                if (y == 0.0)
+                    throw Trap("floating division by zero");
+                return Value::makeFloat(x / y);
+              case BinaryOp::Lt: return Value::makeInt(x < y);
+              case BinaryOp::Gt: return Value::makeInt(x > y);
+              case BinaryOp::Le: return Value::makeInt(x <= y);
+              case BinaryOp::Ge: return Value::makeInt(x >= y);
+              case BinaryOp::Eq: return Value::makeInt(x == y);
+              case BinaryOp::Ne: return Value::makeInt(x != y);
+              default:
+                throw Trap("invalid float operation");
+            }
+        }
+        long x = a.asInt();
+        long y = b.asInt();
+        switch (op) {
+          case BinaryOp::Add: return Value::makeInt(x + y);
+          case BinaryOp::Sub: return Value::makeInt(x - y);
+          case BinaryOp::Mul: return Value::makeInt(x * y);
+          case BinaryOp::Div:
+            if (y == 0)
+                throw Trap("integer division by zero");
+            return Value::makeInt(x / y);
+          case BinaryOp::Mod:
+            if (y == 0)
+                throw Trap("integer modulo by zero");
+            return Value::makeInt(x % y);
+          case BinaryOp::Lt: return Value::makeInt(x < y);
+          case BinaryOp::Gt: return Value::makeInt(x > y);
+          case BinaryOp::Le: return Value::makeInt(x <= y);
+          case BinaryOp::Ge: return Value::makeInt(x >= y);
+          case BinaryOp::Eq: return Value::makeInt(x == y);
+          case BinaryOp::Ne: return Value::makeInt(x != y);
+          case BinaryOp::BitAnd: return Value::makeInt(x & y);
+          case BinaryOp::BitOr: return Value::makeInt(x | y);
+          case BinaryOp::BitXor: return Value::makeInt(x ^ y);
+          case BinaryOp::Shl: return Value::makeInt(x << (y & 63));
+          case BinaryOp::Shr: return Value::makeInt(x >> (y & 63));
+          default:
+            throw Trap("unhandled integer operation");
+        }
+    }
+
+    Value
+    applyPointerBinary(BinaryOp op, const Value &a, const Value &b)
+    {
+        charge(CpuCosts::kIntAlu);
+        auto stride = [this](const Value &ptr) {
+            Place p = ptr.asPlace();
+            const cir::Type *bt = memory_.blockType(p.block);
+            if (bt && bt->isStruct())
+                return layoutOf(bt->structName()).size();
+            return 1;
+        };
+        if (op == BinaryOp::Add || op == BinaryOp::Sub) {
+            if (a.isPointer() && b.isInt()) {
+                long delta = b.asInt() * stride(a);
+                if (op == BinaryOp::Sub)
+                    delta = -delta;
+                Place p = a.asPlace();
+                return Value::makePointer(
+                    {p.block, p.offset + int32_t(delta)});
+            }
+            if (a.isInt() && b.isPointer() && op == BinaryOp::Add) {
+                long delta = a.asInt() * stride(b);
+                Place p = b.asPlace();
+                return Value::makePointer(
+                    {p.block, p.offset + int32_t(delta)});
+            }
+            if (a.isPointer() && b.isPointer() && op == BinaryOp::Sub) {
+                if (a.asPlace().block != b.asPlace().block)
+                    throw Trap("subtraction of unrelated pointers");
+                return Value::makeInt(
+                    (a.asPlace().offset - b.asPlace().offset) / stride(a));
+            }
+            throw Trap("invalid pointer arithmetic");
+        }
+        auto as_pair = [](const Value &v) {
+            if (v.isPointer())
+                return std::pair<long, long>(v.asPlace().block,
+                                             v.asPlace().offset);
+            return std::pair<long, long>(0, v.asInt());
+        };
+        auto [ab, ao] = as_pair(a);
+        auto [bb, bo] = as_pair(b);
+        switch (op) {
+          case BinaryOp::Eq:
+            return Value::makeInt(ab == bb && ao == bo);
+          case BinaryOp::Ne:
+            return Value::makeInt(!(ab == bb && ao == bo));
+          case BinaryOp::Lt: return Value::makeInt(ao < bo);
+          case BinaryOp::Gt: return Value::makeInt(ao > bo);
+          case BinaryOp::Le: return Value::makeInt(ao <= bo);
+          case BinaryOp::Ge: return Value::makeInt(ao >= bo);
+          default:
+            throw Trap("invalid pointer operation");
+        }
+    }
+
+    // --- the dispatch loop ----------------------------------------------------
+
+    void
+    execLoop(size_t until_depth)
+    {
+        // The hot loop keeps pc and the op array in locals so they can
+        // live in registers; they are written back to the frame before
+        // anything that can switch frames (calls, returns, method
+        // dispatch) and reloaded after. Trap unwinds skip the
+        // write-back — a trapped run's frames are discarded unread.
+        const Op *ops = frames_.back().fn->ops.data();
+        int pc = frames_.back().pc;
+        for (;;) {
+            const Op op = ops[size_t(pc)];
+            ++pc;
+            doSteps(op.pre_steps);
+            switch (op.code) {
+              case OpCode::Step:
+                break;
+              case OpCode::Const:
+                push(p_.const_pool[size_t(op.a)]);
+                break;
+              case OpCode::Drop:
+                pop();
+                break;
+              case OpCode::LoadScalar: {
+                Binding &b = slotAt(op.a);
+                charge(CpuCosts::kMem);
+                push(memory_.load(b.v.asPlace()));
+                break;
+              }
+              case OpCode::LoadReg: {
+                charge(CpuCosts::kMem);
+                push(slotAt(op.a).v);
+                break;
+              }
+              case OpCode::LoadHandle: {
+                Binding &b = slotAt(op.a);
+                charge(CpuCosts::kMem);
+                push(b.v);
+                break;
+              }
+              case OpCode::TrapOp:
+                throw Trap(p_.names[size_t(op.a)]);
+              case OpCode::PlaceSlot: {
+                Binding &b = slotAt(op.a);
+                push(b.v, b.type);
+                break;
+              }
+              case OpCode::PlaceReg: {
+                // A register has no place. The entry's static type is
+                // all downstream consumers inspect before trapping
+                // (registers are never structs), so a null place is
+                // never dereferenced.
+                Binding &b = slotAt(op.a);
+                push(Value::makePointer({0, 0}), b.type);
+                break;
+              }
+              case OpCode::PlaceDeref: {
+                Value v = popV();
+                if (!v.isPointer())
+                    throw Trap("dereference of non-pointer");
+                push(Value::makePointer(v.asPlace()), nullptr);
+                break;
+              }
+              case OpCode::DerefLoad: {
+                Value v = popV();
+                if (!v.isPointer())
+                    throw Trap("dereference of non-pointer");
+                charge(CpuCosts::kMem);
+                push(memory_.load(v.asPlace()));
+                break;
+              }
+              case OpCode::AddrOf: {
+                StackVal e = pop();
+                push(Value::makePointer(e.v.asPlace()));
+                break;
+              }
+              case OpCode::PlaceToValue: {
+                StackVal e = pop();
+                placeToValue(e.v.asPlace(), e.t);
+                break;
+              }
+              case OpCode::IndexBaseArr: {
+                Binding &b = slotAt(op.a);
+                push(b.v, b.type);
+                break;
+              }
+              case OpCode::IndexBaseLoad: {
+                Binding &b = slotAt(op.a);
+                Value v = memory_.load(b.v.asPlace());
+                if (!v.isPointer())
+                    throw Trap(p_.names[size_t(op.c)]);
+                push(Value::makePointer(v.asPlace()), b.type);
+                break;
+              }
+              case OpCode::IndexBaseLoadReg: {
+                Binding &b = slotAt(op.a);
+                if (!b.v.isPointer())
+                    throw Trap(p_.names[size_t(op.c)]);
+                push(Value::makePointer(b.v.asPlace()), b.type);
+                break;
+              }
+              case OpCode::IndexBaseDecay: {
+                StackVal e = pop();
+                if (e.t && e.t->isArray()) {
+                    push(e.v, e.t);
+                    break;
+                }
+                Value v = memory_.load(e.v.asPlace());
+                if (!v.isPointer())
+                    throw Trap("subscript of non-array value");
+                push(Value::makePointer(v.asPlace()), e.t);
+                break;
+              }
+              case OpCode::IndexCombine: {
+                auto [p, elem] = indexElement(op);
+                push(Value::makePointer(p), elem);
+                break;
+              }
+              case OpCode::MemberArrow: {
+                Value v = popV();
+                if (!v.isPointer())
+                    throw Trap("-> on non-pointer");
+                Place p = v.asPlace();
+                push(Value::makePointer(p),
+                     memory_.blockType(p.block));
+                break;
+              }
+              case OpCode::MemberDotTest: {
+                Value v = popV();
+                if (v.isPointer()) {
+                    Place p = v.asPlace();
+                    push(Value::makePointer(p),
+                         memory_.blockType(p.block));
+                    pc = op.a;
+                }
+                break;
+              }
+              case OpCode::MemberCombine: {
+                StackVal base = pop();
+                SiteCache &c = memberCache(base.t, op);
+                Place p = base.v.asPlace();
+                push(Value::makePointer({p.block, p.offset + c.field}),
+                     c.layout->field_types[size_t(c.field)]);
+                break;
+              }
+              case OpCode::Neg: {
+                Value v = popV();
+                charge(v.isFloat() ? CpuCosts::kFloatAlu
+                                   : CpuCosts::kIntAlu);
+                if (v.isFloat())
+                    push(Value::makeFloat(-v.asFloat()));
+                else
+                    push(Value::makeInt(-v.asInt()));
+                break;
+              }
+              case OpCode::Not: {
+                Value v = popV();
+                charge(CpuCosts::kIntAlu);
+                push(Value::makeInt(v.truthy() ? 0 : 1));
+                break;
+              }
+              case OpCode::BitNot: {
+                Value v = popV();
+                charge(CpuCosts::kIntAlu);
+                push(Value::makeInt(~v.asInt()));
+                break;
+              }
+              case OpCode::IncDec: {
+                StackVal e = pop();
+                Place place = e.v.asPlace();
+                Value old = memory_.load(place);
+                charge(CpuCosts::kIntAlu + 2 * CpuCosts::kMem);
+                long delta = (op.a == 0 || op.a == 2) ? 1 : -1;
+                Value updated;
+                if (old.isFloat())
+                    updated = Value::makeFloat(old.asFloat() + delta);
+                else if (old.isPointer())
+                    updated = Value::makePointer(
+                        {old.asPlace().block,
+                         old.asPlace().offset +
+                             int32_t(delta * placeStride(e.t))});
+                else
+                    updated = Value::makeInt(old.asInt() + delta);
+                memory_.store(place, updated);
+                profileStore(op.b, memory_.load(place));
+                bool post = op.a >= 2;
+                push(post ? old : memory_.load(place));
+                break;
+              }
+              case OpCode::IncDecReg:
+                execIncDecReg(op, true);
+                break;
+              case OpCode::Binary: {
+                Value b = popV();
+                Value a = popV();
+                push(applyBinary(BinaryOp(op.a), a, b));
+                break;
+              }
+              case OpCode::LogicalTest: {
+                Value v = popV();
+                bool lhs = v.truthy();
+                bool is_and = op.a != 0;
+                bool shortcut = is_and ? !lhs : lhs;
+                recordBranch(op.b, lhs);
+                if (shortcut) {
+                    push(Value::makeInt(is_and ? 0 : 1));
+                    pc = op.c;
+                }
+                break;
+              }
+              case OpCode::Truthy01: {
+                Value v = popV();
+                push(Value::makeInt(v.truthy() ? 1 : 0));
+                break;
+              }
+              case OpCode::CastTo: {
+                Value v = popV();
+                push(coerceToType(v, p_.types[size_t(op.a)]));
+                break;
+              }
+              case OpCode::Jump:
+                pc = op.a;
+                break;
+              case OpCode::BranchFalse: {
+                Value v = popV();
+                bool cond = v.truthy();
+                recordBranch(op.a, cond);
+                if (!cond)
+                    pc = op.b;
+                break;
+              }
+              case OpCode::BranchLoop: {
+                Value v = popV();
+                bool cond = v.truthy();
+                recordBranch(op.a, cond);
+                if (!cond) {
+                    pc = op.b;
+                } else if (loop_profile_) {
+                    loop_profile_->loops[op.c].iterations += 1;
+                }
+                break;
+              }
+              case OpCode::LoopAlways: {
+                recordBranch(op.a, true);
+                if (loop_profile_)
+                    loop_profile_->loops[op.c].iterations += 1;
+                break;
+              }
+              case OpCode::LoopEnter: {
+                if (loop_profile_) {
+                    LoopRecord &rec =
+                        loop_profile_->loops[op.a];
+                    rec.node_id = op.a;
+                    rec.parent_id = loop_stack_.empty()
+                                        ? -1
+                                        : loop_stack_.back();
+                    rec.entries += 1;
+                    loop_stack_.push_back(op.a);
+                }
+                break;
+              }
+              case OpCode::LoopExit: {
+                if (loop_profile_)
+                    loop_stack_.pop_back();
+                break;
+              }
+              case OpCode::CallFn: {
+                frames_.back().pc = pc;
+                invoke(op.a, op.b, stack_.size() - size_t(op.b), {});
+                ops = frames_.back().fn->ops.data();
+                pc = frames_.back().pc;
+                break;
+              }
+              case OpCode::Ret: {
+                Value ret =
+                    op.a ? popV() : Value::makeInt(0);
+                Frame &fr = frames_.back();
+                const CompiledFunction &fn = *fr.fn;
+                loop_stack_.resize(fr.loop_base);
+                slot_stack_.resize(fr.slot_base);
+                frames_.pop_back();
+                if (!fn.ret_void)
+                    push(coerceToType(ret, fn.ret_type));
+                else
+                    push(Value::makeInt(0));
+                if (frames_.size() == until_depth)
+                    return;
+                ops = frames_.back().fn->ops.data();
+                pc = frames_.back().pc;
+                break;
+              }
+              case OpCode::Halt:
+                frames_.back().pc = pc;
+                return;
+              case OpCode::Charge:
+                charge(uint64_t(op.a));
+                break;
+              case OpCode::MallocRaw: {
+                Value n = popV();
+                int32_t block =
+                    memory_.allocate(int(n.asInt()), nullptr, true);
+                push(Value::makePointer({block, 0}));
+                break;
+              }
+              case OpCode::MallocTyped: {
+                const MallocPlan &plan = p_.mallocs[size_t(op.a)];
+                long count = 1;
+                if (plan.has_count)
+                    count = popV().asInt();
+                if (count < 0)
+                    throw Trap("malloc with negative count");
+                if (!plan.trap.empty())
+                    throw Trap(plan.trap);
+                int32_t block;
+                if (plan.layout >= 0) {
+                    block = memory_.allocatePattern(
+                        int(count), plan.type,
+                        p_.layouts[size_t(plan.layout)].field_types,
+                        true);
+                } else {
+                    block = memory_.allocate(
+                        int(count) * int(plan.cells_per), plan.type,
+                        true);
+                }
+                push(Value::makePointer({block, 0}));
+                break;
+              }
+              case OpCode::FreeOp: {
+                Value v = popV();
+                if (!v.isPointer())
+                    throw Trap("free of non-pointer");
+                memory_.release(v.asPlace());
+                push(Value::makeInt(0));
+                break;
+              }
+              case OpCode::Printf: {
+                for (int i = 0; i < op.a; ++i)
+                    pop();
+                charge(CpuCosts::kCall);
+                push(Value::makeInt(0));
+                break;
+              }
+              case OpCode::Math:
+                execMath(op);
+                break;
+              case OpCode::MethodEnter:
+                // execMethodEnter jumps by writing the frame's pc.
+                frames_.back().pc = pc;
+                execMethodEnter(op);
+                pc = frames_.back().pc;
+                break;
+              case OpCode::MethodBind:
+                execMethodBind(op);
+                break;
+              case OpCode::MethodInvoke: {
+                const MethodPlan &plan = p_.methods[size_t(op.a)];
+                // Stack: receiver, fn id, then argc arguments.
+                size_t arg_base = stack_.size() - size_t(plan.argc);
+                long fn_id = stack_[arg_base - 1].v.asInt();
+                Value recv = stack_[arg_base - 2].v;
+                if (fn_id < 0) { // stream write
+                    memory_.streamWrite(recv.streamId(),
+                                        stack_[arg_base].v);
+                    stack_.resize(arg_base - 2);
+                    push(Value::makeInt(0));
+                } else {
+                    frames_.back().pc = pc;
+                    invoke(int(fn_id), plan.argc, arg_base,
+                           recv.asPlace());
+                    stack_.resize(stack_.size() - 2);
+                    ops = frames_.back().fn->ops.data();
+                    pc = frames_.back().pc;
+                }
+                break;
+              }
+              case OpCode::StructLitAlloc: {
+                const StructLitPlan &plan =
+                    p_.struct_lits[size_t(op.a)];
+                const StructLayout &layout =
+                    p_.layouts[size_t(plan.layout)];
+                int32_t block = memory_.allocatePattern(
+                    1, plan.type, layout.field_types);
+                push(Value::makePointer({block, 0}));
+                break;
+              }
+              case OpCode::StructLitInit: {
+                const StructLitPlan &plan =
+                    p_.struct_lits[size_t(op.a)];
+                std::vector<Value> args = popArgs(plan.argc);
+                Value base = popV();
+                if (!plan.trap.empty() && plan.trap_before)
+                    throw Trap(plan.trap);
+                int32_t block = base.asPlace().block;
+                for (const auto &[fi, pi] : plan.stores)
+                    memory_.store({block, fi}, args[size_t(pi)]);
+                if (!plan.trap.empty())
+                    throw Trap(plan.trap);
+                push(base);
+                break;
+              }
+              case OpCode::DeclScalar: {
+                const TypePtr &t = p_.types[size_t(op.b)];
+                int32_t block = memory_.allocate(1, t);
+                slotAt(op.a) = {Value::makePointer({block, 0}),
+                                t.get()};
+                break;
+              }
+              case OpCode::DeclReg: {
+                // A fresh unset value each execution, as the walker's
+                // fresh uninitialized cell. No block is allocated; no
+                // pointer to this variable can exist (see PlaceReg).
+                slotAt(op.a) = {Value(),
+                                p_.types[size_t(op.b)].get()};
+                break;
+              }
+              case OpCode::DeclStruct: {
+                const TypePtr &t = p_.types[size_t(op.c)];
+                const StructLayout &layout = p_.layouts[size_t(op.b)];
+                int32_t block = memory_.allocatePattern(
+                    1, t, layout.field_types);
+                slotAt(op.a) = {Value::makePointer({block, 0}),
+                                t.get()};
+                break;
+              }
+              case OpCode::DeclStream: {
+                const TypePtr &t = p_.types[size_t(op.b)];
+                int32_t block = memory_.allocate(1, t);
+                int32_t id;
+                if (op.c >= 0) {
+                    auto hit = static_streams_.find(op.c);
+                    if (hit != static_streams_.end()) {
+                        id = hit->second;
+                    } else {
+                        id = memory_.createStream();
+                        static_streams_[op.c] = id;
+                    }
+                } else {
+                    id = memory_.createStream();
+                }
+                memory_.storeRaw({block, 0}, Value::makeStream(id));
+                slotAt(op.a) = {Value::makePointer({block, 0}),
+                                t.get()};
+                break;
+              }
+              case OpCode::CheckDim: {
+                long d = stack_.back().v.asInt();
+                if (d < 0)
+                    throw Trap("negative array size");
+                break;
+              }
+              case OpCode::DeclArray: {
+                const ArrayDeclPlan &plan = p_.arrays[size_t(op.b)];
+                std::vector<Value> rdims = popArgs(plan.runtime_dims);
+                long total = 1;
+                size_t rt = 0;
+                for (long d : plan.dims) {
+                    if (d == kUnknownArraySize)
+                        d = rdims[rt++].asInt();
+                    total *= d;
+                }
+                int32_t block;
+                if (plan.layout >= 0) {
+                    block = memory_.allocatePattern(
+                        int(total), plan.scalar,
+                        p_.layouts[size_t(plan.layout)].field_types);
+                } else {
+                    block = memory_.allocate(int(total), plan.scalar);
+                }
+                slotAt(op.a) = {Value::makePointer({block, 0}),
+                                plan.type.get()};
+                break;
+              }
+              case OpCode::DeclInit: {
+                Value v = popV();
+                charge(CpuCosts::kMem);
+                Binding &b = slotAt(op.a);
+                Place place = b.v.asPlace();
+                if (op.c >= 0 && v.isPointer()) {
+                    copyStruct(v.asPlace(), place,
+                               p_.layouts[size_t(op.c)]);
+                } else {
+                    memory_.store(place, v);
+                    profileStore(op.b, memory_.load(place));
+                }
+                break;
+              }
+              case OpCode::DeclInitReg: {
+                // DeclInit for a register: store coerces to the
+                // declared type, and the profile notes the coerced
+                // value, exactly as Memory::store + load would.
+                Value v = popV();
+                charge(CpuCosts::kMem);
+                Binding &b = slotAt(op.a);
+                b.v = coerceToType(v, b.type);
+                profileStore(op.b, b.v);
+                break;
+              }
+              case OpCode::Assign:
+                execAssign(op, true);
+                break;
+              case OpCode::AssignReg:
+                execAssignReg(op, true);
+                break;
+
+              // --- fused superinstructions ------------------------------------
+              // The trailing component ops sit unchanged at ops[pc];
+              // handlers read them as operand words and step past,
+              // replicating each component's steps/charges in order.
+              case OpCode::FuseLoadRegConstBinary: {
+                const Op &o2 = ops[size_t(pc)];     // Const
+                const Op &o3 = ops[size_t(pc) + 1]; // Binary
+                pc += 2;
+                charge(CpuCosts::kMem);
+                Value a = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                doSteps(o3.pre_steps);
+                push(applyBinary(BinaryOp(o3.a), a,
+                                 p_.const_pool[size_t(o2.a)]));
+                break;
+              }
+              case OpCode::FuseLoadRegLoadRegBinary: {
+                const Op &o2 = ops[size_t(pc)];     // LoadReg
+                const Op &o3 = ops[size_t(pc) + 1]; // Binary
+                pc += 2;
+                charge(CpuCosts::kMem);
+                Value a = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                charge(CpuCosts::kMem);
+                Value b = slotAt(o2.a).v;
+                doSteps(o3.pre_steps);
+                push(applyBinary(BinaryOp(o3.a), a, b));
+                break;
+              }
+              case OpCode::FuseLoadRegArrowMember: {
+                const Op &o2 = ops[size_t(pc)];     // MemberArrow
+                const Op &o3 = ops[size_t(pc) + 1]; // MemberCombine
+                pc += 2;
+                charge(CpuCosts::kMem);
+                Value v = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                if (!v.isPointer())
+                    throw Trap("-> on non-pointer");
+                Place p = v.asPlace();
+                const Type *bt = memory_.blockType(p.block);
+                doSteps(o3.pre_steps);
+                SiteCache &c = memberCache(bt, o3);
+                push(Value::makePointer({p.block, p.offset + c.field}),
+                     c.layout->field_types[size_t(c.field)]);
+                break;
+              }
+              case OpCode::FuseLoadRegBinary: {
+                const Op &o2 = ops[size_t(pc)]; // Binary
+                ++pc;
+                charge(CpuCosts::kMem);
+                Value b = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                Value a = popV();
+                push(applyBinary(BinaryOp(o2.a), a, b));
+                break;
+              }
+              case OpCode::FuseConstBinary: {
+                const Op &o2 = ops[size_t(pc)]; // Binary
+                ++pc;
+                doSteps(o2.pre_steps);
+                Value a = popV();
+                push(applyBinary(BinaryOp(o2.a), a,
+                                 p_.const_pool[size_t(op.a)]));
+                break;
+              }
+              case OpCode::FuseIndexLoad: {
+                const Op &o2 = ops[size_t(pc)]; // PlaceToValue
+                ++pc;
+                auto [p, elem] = indexElement(op);
+                doSteps(o2.pre_steps);
+                placeToValue(p, elem);
+                break;
+              }
+              case OpCode::FuseArrowMember: {
+                const Op &o2 = ops[size_t(pc)]; // MemberCombine
+                ++pc;
+                Value v = popV();
+                if (!v.isPointer())
+                    throw Trap("-> on non-pointer");
+                Place p = v.asPlace();
+                const Type *bt = memory_.blockType(p.block);
+                doSteps(o2.pre_steps);
+                SiteCache &c = memberCache(bt, o2);
+                push(Value::makePointer({p.block, p.offset + c.field}),
+                     c.layout->field_types[size_t(c.field)]);
+                break;
+              }
+              case OpCode::FuseMemberLoad: {
+                const Op &o2 = ops[size_t(pc)]; // PlaceToValue
+                ++pc;
+                StackVal base = pop();
+                SiteCache &c = memberCache(base.t, op);
+                Place p = base.v.asPlace();
+                doSteps(o2.pre_steps);
+                placeToValue({p.block, p.offset + c.field},
+                             c.layout->field_types[size_t(c.field)]);
+                break;
+              }
+              case OpCode::FuseBinaryBranchFalse: {
+                const Op &o2 = ops[size_t(pc)]; // BranchFalse
+                ++pc;
+                Value rb = popV();
+                Value ra = popV();
+                Value r = applyBinary(BinaryOp(op.a), ra, rb);
+                doSteps(o2.pre_steps);
+                bool cond = r.truthy();
+                recordBranch(o2.a, cond);
+                if (!cond)
+                    pc = o2.b;
+                break;
+              }
+              case OpCode::FuseBinaryBranchLoop: {
+                const Op &o2 = ops[size_t(pc)]; // BranchLoop
+                ++pc;
+                Value rb = popV();
+                Value ra = popV();
+                Value r = applyBinary(BinaryOp(op.a), ra, rb);
+                doSteps(o2.pre_steps);
+                bool cond = r.truthy();
+                recordBranch(o2.a, cond);
+                if (!cond) {
+                    pc = o2.b;
+                } else if (loop_profile_) {
+                    loop_profile_->loops[o2.c].iterations += 1;
+                }
+                break;
+              }
+              case OpCode::FuseAssignRegDrop: {
+                const Op &o2 = ops[size_t(pc)]; // Drop
+                ++pc;
+                execAssignReg(op, false);
+                doSteps(o2.pre_steps);
+                break;
+              }
+              case OpCode::FuseIncDecRegDrop: {
+                const Op &o2 = ops[size_t(pc)]; // Drop
+                ++pc;
+                execIncDecReg(op, false);
+                doSteps(o2.pre_steps);
+                break;
+              }
+              case OpCode::FuseAssignDrop: {
+                const Op &o2 = ops[size_t(pc)]; // Drop
+                ++pc;
+                execAssign(op, false);
+                doSteps(o2.pre_steps);
+                break;
+              }
+              case OpCode::FuseLoadRegLoadRegBinaryBranchFalse:
+              case OpCode::FuseLoadRegLoadRegBinaryBranchLoop: {
+                const Op &o2 = ops[size_t(pc)];     // LoadReg
+                const Op &o3 = ops[size_t(pc) + 1]; // Binary
+                const Op &o4 = ops[size_t(pc) + 2]; // BranchFalse/Loop
+                pc += 3;
+                charge(CpuCosts::kMem);
+                Value a = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                charge(CpuCosts::kMem);
+                Value b = slotAt(o2.a).v;
+                doSteps(o3.pre_steps);
+                Value r = applyBinary(BinaryOp(o3.a), a, b);
+                doSteps(o4.pre_steps);
+                bool cond = r.truthy();
+                recordBranch(o4.a, cond);
+                if (!cond) {
+                    pc = o4.b;
+                } else if (op.code ==
+                               OpCode::FuseLoadRegLoadRegBinaryBranchLoop &&
+                           loop_profile_) {
+                    loop_profile_->loops[o4.c].iterations += 1;
+                }
+                break;
+              }
+              case OpCode::FuseLoadRegConstBinaryBranchFalse:
+              case OpCode::FuseLoadRegConstBinaryBranchLoop: {
+                const Op &o2 = ops[size_t(pc)];     // Const
+                const Op &o3 = ops[size_t(pc) + 1]; // Binary
+                const Op &o4 = ops[size_t(pc) + 2]; // BranchFalse/Loop
+                pc += 3;
+                charge(CpuCosts::kMem);
+                Value a = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                doSteps(o3.pre_steps);
+                Value r = applyBinary(BinaryOp(o3.a), a,
+                                      p_.const_pool[size_t(o2.a)]);
+                doSteps(o4.pre_steps);
+                bool cond = r.truthy();
+                recordBranch(o4.a, cond);
+                if (!cond) {
+                    pc = o4.b;
+                } else if (op.code ==
+                               OpCode::FuseLoadRegConstBinaryBranchLoop &&
+                           loop_profile_) {
+                    loop_profile_->loops[o4.c].iterations += 1;
+                }
+                break;
+              }
+              case OpCode::FuseIncDecRegDropJump: {
+                const Op &o2 = ops[size_t(pc)];     // Drop
+                const Op &o3 = ops[size_t(pc) + 1]; // Jump
+                pc += 2;
+                execIncDecReg(op, false);
+                doSteps(o2.pre_steps);
+                doSteps(o3.pre_steps);
+                pc = o3.a;
+                break;
+              }
+              case OpCode::FuseIdxArrRegLoad:
+              case OpCode::FuseIdxLoadRegLoad:
+              case OpCode::FuseIdxLoadRegRegLoad: {
+                const Op &o2 = ops[size_t(pc)];     // LoadReg
+                const Op &o3 = ops[size_t(pc) + 1]; // IndexCombine
+                const Op &o4 = ops[size_t(pc) + 2]; // PlaceToValue
+                pc += 3;
+                Binding &b = slotAt(op.a);
+                Value base = b.v;
+                if (op.code == OpCode::FuseIdxLoadRegLoad) {
+                    Value v = memory_.load(b.v.asPlace());
+                    if (!v.isPointer())
+                        throw Trap(p_.names[size_t(op.c)]);
+                    base = Value::makePointer(v.asPlace());
+                } else if (op.code == OpCode::FuseIdxLoadRegRegLoad) {
+                    if (!b.v.isPointer())
+                        throw Trap(p_.names[size_t(op.c)]);
+                    base = Value::makePointer(b.v.asPlace());
+                }
+                doSteps(o2.pre_steps);
+                charge(CpuCosts::kMem);
+                const Value &idx = slotAt(o2.a).v;
+                doSteps(o3.pre_steps);
+                auto [p, elem] = indexElementAt(o3, base, b.type, idx);
+                doSteps(o4.pre_steps);
+                placeToValue(p, elem);
+                break;
+              }
+              case OpCode::FuseIdxArrAffineLoad:
+              case OpCode::FuseIdxLoadAffineLoad: {
+                const Op &o2 = ops[size_t(pc)];     // LoadReg
+                const Op &o3 = ops[size_t(pc) + 1]; // Const
+                const Op &o4 = ops[size_t(pc) + 2]; // Binary
+                const Op &o5 = ops[size_t(pc) + 3]; // LoadReg
+                const Op &o6 = ops[size_t(pc) + 4]; // Binary
+                const Op &o7 = ops[size_t(pc) + 5]; // IndexCombine
+                const Op &o8 = ops[size_t(pc) + 6]; // PlaceToValue
+                pc += 7;
+                Binding &b = slotAt(op.a);
+                Value base = b.v;
+                if (op.code == OpCode::FuseIdxLoadAffineLoad) {
+                    Value v = memory_.load(b.v.asPlace());
+                    if (!v.isPointer())
+                        throw Trap(p_.names[size_t(op.c)]);
+                    base = Value::makePointer(v.asPlace());
+                }
+                doSteps(o2.pre_steps);
+                charge(CpuCosts::kMem);
+                Value r = slotAt(o2.a).v;
+                doSteps(o3.pre_steps);
+                doSteps(o4.pre_steps);
+                Value t = applyBinary(BinaryOp(o4.a), r,
+                                      p_.const_pool[size_t(o3.a)]);
+                doSteps(o5.pre_steps);
+                charge(CpuCosts::kMem);
+                Value u = slotAt(o5.a).v;
+                doSteps(o6.pre_steps);
+                Value idx = applyBinary(BinaryOp(o6.a), t, u);
+                doSteps(o7.pre_steps);
+                auto [p, elem] = indexElementAt(o7, base, b.type, idx);
+                doSteps(o8.pre_steps);
+                placeToValue(p, elem);
+                break;
+              }
+              case OpCode::FuseLoadRegArrowMemberLoad: {
+                const Op &o2 = ops[size_t(pc)];     // MemberArrow
+                const Op &o3 = ops[size_t(pc) + 1]; // MemberCombine
+                const Op &o4 = ops[size_t(pc) + 2]; // PlaceToValue
+                pc += 3;
+                charge(CpuCosts::kMem);
+                Value v = slotAt(op.a).v;
+                doSteps(o2.pre_steps);
+                if (!v.isPointer())
+                    throw Trap("-> on non-pointer");
+                Place p = v.asPlace();
+                const Type *bt = memory_.blockType(p.block);
+                doSteps(o3.pre_steps);
+                SiteCache &c = memberCache(bt, o3);
+                doSteps(o4.pre_steps);
+                placeToValue({p.block, p.offset + c.field},
+                             c.layout->field_types[size_t(c.field)]);
+                break;
+              }
+              case OpCode::FuseArrowMemberLoad: {
+                const Op &o2 = ops[size_t(pc)];     // MemberCombine
+                const Op &o3 = ops[size_t(pc) + 1]; // PlaceToValue
+                pc += 2;
+                Value v = popV();
+                if (!v.isPointer())
+                    throw Trap("-> on non-pointer");
+                Place p = v.asPlace();
+                const Type *bt = memory_.blockType(p.block);
+                doSteps(o2.pre_steps);
+                SiteCache &c = memberCache(bt, o2);
+                doSteps(o3.pre_steps);
+                placeToValue({p.block, p.offset + c.field},
+                             c.layout->field_types[size_t(c.field)]);
+                break;
+              }
+              case OpCode::FuseIdxArrRegConstBinaryLoad:
+              case OpCode::FuseIdxLoadRegConstBinaryLoad: {
+                const Op &o2 = ops[size_t(pc)];     // LoadReg
+                const Op &o3 = ops[size_t(pc) + 1]; // Const
+                const Op &o4 = ops[size_t(pc) + 2]; // Binary
+                const Op &o5 = ops[size_t(pc) + 3]; // IndexCombine
+                const Op &o6 = ops[size_t(pc) + 4]; // PlaceToValue
+                pc += 5;
+                Binding &b = slotAt(op.a);
+                Value base = b.v;
+                if (op.code == OpCode::FuseIdxLoadRegConstBinaryLoad) {
+                    Value v = memory_.load(b.v.asPlace());
+                    if (!v.isPointer())
+                        throw Trap(p_.names[size_t(op.c)]);
+                    base = Value::makePointer(v.asPlace());
+                }
+                doSteps(o2.pre_steps);
+                charge(CpuCosts::kMem);
+                Value r = slotAt(o2.a).v;
+                doSteps(o3.pre_steps);
+                doSteps(o4.pre_steps);
+                Value idx = applyBinary(BinaryOp(o4.a), r,
+                                        p_.const_pool[size_t(o3.a)]);
+                doSteps(o5.pre_steps);
+                auto [p, elem] = indexElementAt(o5, base, b.type, idx);
+                doSteps(o6.pre_steps);
+                placeToValue(p, elem);
+                break;
+              }
+            }
+        }
+    }
+
+    void
+    execMath(const Op &op)
+    {
+        std::vector<Value> args = popArgs(op.b);
+        charge(CpuCosts::kMath);
+        const std::string &name = p_.names[size_t(op.c)];
+        auto need = [&](size_t n) {
+            if (args.size() != n)
+                throw Trap(name + " expects " + std::to_string(n) +
+                           " argument(s)");
+        };
+        switch (MathFn(op.a)) {
+          case MathFn::Sqrt: {
+            need(1);
+            double x = args[0].asFloat();
+            if (x < 0)
+                throw Trap("sqrt of negative value");
+            push(Value::makeFloat(std::sqrt(x)));
+            return;
+          }
+          case MathFn::Fabs:
+            need(1);
+            push(Value::makeFloat(std::fabs(args[0].asFloat())));
+            return;
+          case MathFn::Abs:
+            need(1);
+            push(Value::makeInt(std::labs(args[0].asInt())));
+            return;
+          case MathFn::Pow:
+            need(2);
+            push(Value::makeFloat(
+                std::pow(args[0].asFloat(), args[1].asFloat())));
+            return;
+          case MathFn::Sin:
+            need(1);
+            push(Value::makeFloat(std::sin(args[0].asFloat())));
+            return;
+          case MathFn::Cos:
+            need(1);
+            push(Value::makeFloat(std::cos(args[0].asFloat())));
+            return;
+          case MathFn::Tan:
+            need(1);
+            push(Value::makeFloat(std::tan(args[0].asFloat())));
+            return;
+          case MathFn::Exp:
+            need(1);
+            push(Value::makeFloat(std::exp(args[0].asFloat())));
+            return;
+          case MathFn::Log: {
+            need(1);
+            double x = args[0].asFloat();
+            if (x <= 0)
+                throw Trap("log of non-positive value");
+            push(Value::makeFloat(std::log(x)));
+            return;
+          }
+          case MathFn::Floor:
+            need(1);
+            push(Value::makeFloat(std::floor(args[0].asFloat())));
+            return;
+          case MathFn::Ceil:
+            need(1);
+            push(Value::makeFloat(std::ceil(args[0].asFloat())));
+            return;
+          case MathFn::Min:
+          case MathFn::Max: {
+            need(2);
+            bool flt = args[0].isFloat() || args[1].isFloat();
+            bool take_first =
+                flt ? (args[0].asFloat() < args[1].asFloat())
+                    : (args[0].asInt() < args[1].asInt());
+            if (MathFn(op.a) == MathFn::Max)
+                take_first = !take_first;
+            // The walker returns the original argument value.
+            push(take_first ? args[0] : args[1]);
+            return;
+          }
+          case MathFn::Unknown:
+            break;
+        }
+        throw Trap("unimplemented intrinsic: " + name);
+    }
+
+    void
+    execMethodEnter(const Op &op)
+    {
+        const MethodPlan &plan = p_.methods[size_t(op.a)];
+        StackVal recv = pop();
+        if (recv.v.isStream()) {
+            charge(CpuCosts::kStream);
+            int32_t id = recv.v.streamId();
+            switch (plan.stream_kind) {
+              case 0: // write: receiver + marker below the argument
+                if (plan.argc != 1)
+                    throw Trap("stream.write expects one argument");
+                push(recv.v);
+                push(Value::makeInt(-1));
+                frames_.back().pc = plan.bind_pc + 1;
+                return;
+              case 1: // read
+                if (plan.argc != 0)
+                    throw Trap("stream.read expects no arguments");
+                push(memory_.streamRead(id));
+                frames_.back().pc = plan.end_pc;
+                return;
+              case 2: // empty
+                push(Value::makeInt(memory_.streamEmpty(id) ? 1 : 0));
+                frames_.back().pc = plan.end_pc;
+                return;
+              case 3: // full: the model's streams are unbounded
+                push(Value::makeInt(0));
+                frames_.back().pc = plan.end_pc;
+                return;
+              case 4: // size
+                push(Value::makeInt(long(memory_.streamSize(id))));
+                frames_.back().pc = plan.end_pc;
+                return;
+              default:
+                throw Trap("unknown stream method: " + plan.method);
+            }
+        }
+        if (recv.v.isPointer()) {
+            Place p = recv.v.asPlace();
+            const cir::Type *bt = memory_.blockType(p.block);
+            if (bt && bt->isStruct()) {
+                // Fast path: skip the receiver re-evaluation.
+                push(Value::makePointer(p), bt);
+                frames_.back().pc = plan.bind_pc;
+                return;
+            }
+        }
+        // Fall through: re-evaluate the receiver as a place, exactly
+        // like the walker's evalPlaceOfObject fallback.
+    }
+
+    void
+    execMethodBind(const Op &op)
+    {
+        const MethodPlan &plan = p_.methods[size_t(op.a)];
+        StackVal e = pop();
+        if (!e.t || !e.t->isStruct())
+            throw Trap("method call on non-struct value");
+        BindCache &c = bind_caches_[size_t(op.a)];
+        if (e.t != c.key) {
+            auto sit = p_.struct_ids.find(e.t->structName());
+            if (sit == p_.struct_ids.end())
+                throw Trap("unknown struct: " + e.t->structName());
+            const StructLayout &sd = p_.layouts[size_t(sit->second)];
+            auto mit = sd.method_ids.find(plan.method);
+            if (mit == sd.method_ids.end())
+                throw Trap("no method '" + plan.method +
+                           "' on struct " + sd.name);
+            const CompiledFunction &m =
+                p_.functions[size_t(mit->second)];
+            if (int(m.decl->params.size()) != plan.argc)
+                throw Trap("wrong argument count calling method " +
+                           plan.method);
+            c.key = e.t;
+            c.fn_id = mit->second;
+        }
+        push(e.v, e.t);
+        push(Value::makeInt(c.fn_id));
+    }
+
+    /** IncDecReg body; fused Drop variants skip the result push. */
+    void
+    execIncDecReg(const Op &op, bool push_result)
+    {
+        Binding &b = slotAt(op.c);
+        Value old = b.v;
+        charge(CpuCosts::kIntAlu + 2 * CpuCosts::kMem);
+        long delta = (op.a == 0 || op.a == 2) ? 1 : -1;
+        Value updated;
+        if (old.isFloat())
+            updated = Value::makeFloat(old.asFloat() + delta);
+        else if (old.isPointer())
+            updated = Value::makePointer(
+                {old.asPlace().block,
+                 old.asPlace().offset +
+                     int32_t(delta * placeStride(b.type))});
+        else
+            updated = Value::makeInt(old.asInt() + delta);
+        b.v = coerceToType(updated, b.type);
+        profileStore(op.b, b.v);
+        if (push_result) {
+            bool post = op.a >= 2;
+            push(post ? old : b.v);
+        }
+    }
+
+    void
+    execAssign(const Op &op, bool push_result)
+    {
+        Value rhs = popV();
+        StackVal lhs = pop();
+        Place place = lhs.v.asPlace();
+        charge(CpuCosts::kMem);
+        Value result;
+        if (AssignOp(op.a) == AssignOp::Plain) {
+            if (lhs.t && lhs.t->isStruct() && rhs.isPointer()) {
+                copyStruct(rhs.asPlace(), place,
+                           layoutOf(lhs.t->structName()));
+                result = rhs;
+            } else {
+                memory_.store(place, rhs);
+                result = memory_.load(place);
+            }
+        } else {
+            Value old = memory_.load(place);
+            BinaryOp bop;
+            switch (AssignOp(op.a)) {
+              case AssignOp::Add: bop = BinaryOp::Add; break;
+              case AssignOp::Sub: bop = BinaryOp::Sub; break;
+              case AssignOp::Mul: bop = BinaryOp::Mul; break;
+              case AssignOp::Div: bop = BinaryOp::Div; break;
+              default: bop = BinaryOp::Mod; break;
+            }
+            Value combined = applyBinary(bop, old, rhs);
+            memory_.store(place, combined);
+            result = memory_.load(place);
+        }
+        profileStore(op.b, result);
+        if (push_result)
+            push(result);
+    }
+
+    /**
+     * execAssign against a register slot. The struct-copy branch is
+     * impossible (registers are never structs); stores coerce to the
+     * declared type as Memory::store does, and the result is the
+     * stored (coerced) value, as the walker's store-then-load.
+     */
+    void
+    execAssignReg(const Op &op, bool push_result)
+    {
+        Value rhs = popV();
+        Binding &b = slotAt(op.c);
+        charge(CpuCosts::kMem);
+        if (AssignOp(op.a) == AssignOp::Plain) {
+            b.v = coerceToType(rhs, b.type);
+        } else {
+            BinaryOp bop;
+            switch (AssignOp(op.a)) {
+              case AssignOp::Add: bop = BinaryOp::Add; break;
+              case AssignOp::Sub: bop = BinaryOp::Sub; break;
+              case AssignOp::Mul: bop = BinaryOp::Mul; break;
+              case AssignOp::Div: bop = BinaryOp::Div; break;
+              default: bop = BinaryOp::Mod; break;
+            }
+            Value combined = applyBinary(bop, b.v, rhs);
+            b.v = coerceToType(combined, b.type);
+        }
+        profileStore(op.b, b.v);
+        if (push_result)
+            push(b.v);
+    }
+
+    const Program &p_;
+    const RunOptions *opts_ = nullptr; ///< set per run by reset()
+    bool capture_enabled_ = false;
+    // Hot RunOptions fields, cached flat by reset() for the dispatch loop.
+    uint64_t max_steps_ = 0;
+    LoopProfile *loop_profile_ = nullptr;
+    CoverageMap *coverage_ = nullptr;
+    BranchEventLog *branch_log_ = nullptr;
+    std::vector<SiteCache> caches_; ///< per-VM: runs evaluate in parallel
+    std::vector<BindCache> bind_caches_;
+    Memory memory_;
+    std::vector<StackVal> stack_;
+    std::vector<Frame> frames_;
+    std::vector<Binding> slot_stack_; ///< all live frames' slots
+    std::vector<Binding> globals_;
+    std::map<int, int32_t> static_streams_;
+    std::vector<int> loop_stack_;
+    uint64_t steps_ = 0;
+    uint64_t cycles_ = 0;
+    uint64_t branch_records_ = 0;
+    bool seed_captured_ = false;
+};
+
+} // namespace
+
+RunResult
+executeProgram(const Program &program, const std::string &function,
+               const std::vector<KernelArg> &args,
+               const RunOptions &options)
+{
+    // One warm VM per thread: the fuzz and repair loops run the same
+    // compiled program millions of times, so reusing a reset() VM
+    // keeps allocation capacity and inline caches across runs instead
+    // of paying construction per run. Keyed on the program's serial —
+    // a different program (even at a recycled address) rebuilds.
+    thread_local uint64_t cached_serial = 0;
+    thread_local std::unique_ptr<VM> cached;
+    if (!cached || cached_serial != program.serial) {
+        cached = std::make_unique<VM>(program);
+        cached_serial = program.serial;
+    }
+    cached->reset(options);
+    return cached->run(function, args);
+}
+
+} // namespace heterogen::interp::bytecode

@@ -7,10 +7,10 @@
 #define HETEROGEN_INTERP_COVERAGE_H
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 namespace heterogen::interp {
 
@@ -21,6 +21,10 @@ namespace heterogen::interp {
  * novelty (coversNew) also counts a previously-unseen hit-count bucket —
  * so inputs driving loops to new iteration magnitudes are retained even
  * when they add no new edge.
+ *
+ * Sema assigns dense branch ids, so the hot record() path indexes flat
+ * vectors by edge (branch_id * 2 + taken); the set-flavoured views the
+ * fuzzer's novelty/merge logic wants are derived on the cold paths.
  */
 class CoverageMap
 {
@@ -33,8 +37,12 @@ class CoverageMap
     {
         if (branch_id < 0)
             return;
-        hits_.insert({branch_id, taken});
-        counts_[{branch_id, taken}] += 1;
+        size_t edge = static_cast<size_t>(branch_id) * 2 + (taken ? 1 : 0);
+        if (edge >= counts_.size())
+            counts_.resize(edge + 1, 0);
+        if (counts_[edge] == 0)
+            ++distinct_counted_;
+        counts_[edge] += 1;
     }
 
     /** Merge another map's edges and buckets; true if anything was new. */
@@ -42,19 +50,66 @@ class CoverageMap
     merge(const CoverageMap &other)
     {
         bool grew = false;
-        for (const auto &h : other.hits_)
-            grew |= hits_.insert(h).second;
+        for (size_t edge = 0; edge < other.counts_.size(); ++edge) {
+            if (other.counts_[edge] != 0)
+                grew |= markHit(edge);
+        }
+        for (size_t edge : other.merged_hits_)
+            grew |= markHit(edge);
         for (const auto &b : other.bucketSet())
             grew |= buckets_.insert(b).second;
         return grew;
+    }
+
+    /**
+     * Fold another map in preserving raw per-edge counts — equivalent
+     * to having recorded the other map's edges directly here. The
+     * differential engine uses this to forward a private run's
+     * coverage into a caller sink bit-identically.
+     */
+    void
+    absorb(const CoverageMap &other)
+    {
+        if (other.counts_.size() > counts_.size())
+            counts_.resize(other.counts_.size(), 0);
+        for (size_t edge = 0; edge < other.counts_.size(); ++edge) {
+            if (other.counts_[edge] == 0)
+                continue;
+            if (counts_[edge] == 0)
+                ++distinct_counted_;
+            counts_[edge] += other.counts_[edge];
+        }
+        for (size_t edge : other.merged_hits_)
+            markHit(edge);
+        for (const auto &b : other.buckets_)
+            buckets_.insert(b);
+    }
+
+    /** Exact state equality (edges, raw counts and merged buckets). */
+    bool
+    operator==(const CoverageMap &other) const
+    {
+        size_t n = counts_.size() > other.counts_.size()
+                       ? counts_.size()
+                       : other.counts_.size();
+        for (size_t edge = 0; edge < n; ++edge) {
+            if (countAt(edge) != other.countAt(edge))
+                return false;
+        }
+        return merged_hits_ == other.merged_hits_ &&
+               buckets_ == other.buckets_;
     }
 
     /** True if `other` covers a new edge or a new hit-count bucket. */
     bool
     coversNew(const CoverageMap &other) const
     {
-        for (const auto &h : other.hits_) {
-            if (!hits_.count(h))
+        for (size_t edge = 0; edge < other.counts_.size(); ++edge) {
+            if (other.counts_[edge] != 0 && !covers(edge))
+                return true;
+        }
+        for (size_t edge : other.merged_hits_) {
+            if (!covers(edge))
                 return true;
         }
         for (const auto &b : other.bucketSet()) {
@@ -64,7 +119,17 @@ class CoverageMap
         return false;
     }
 
-    size_t hitCount() const { return hits_.size(); }
+    size_t
+    hitCount() const
+    {
+        size_t merged_only = 0;
+        for (size_t edge : merged_hits_) {
+            if (countAt(edge) == 0)
+                ++merged_only;
+        }
+        return distinct_counted_ + merged_only;
+    }
+
     int numBranches() const { return num_branches_; }
     void setNumBranches(int n) { num_branches_ = n; }
 
@@ -74,18 +139,40 @@ class CoverageMap
     {
         if (num_branches_ <= 0)
             return 1.0;
-        return static_cast<double>(hits_.size()) / (2.0 * num_branches_);
+        return static_cast<double>(hitCount()) / (2.0 * num_branches_);
     }
 
     void
     clear()
     {
-        hits_.clear();
         counts_.clear();
+        distinct_counted_ = 0;
+        merged_hits_.clear();
         buckets_.clear();
     }
 
   private:
+    uint64_t
+    countAt(size_t edge) const
+    {
+        return edge < counts_.size() ? counts_[edge] : 0;
+    }
+
+    bool
+    covers(size_t edge) const
+    {
+        return countAt(edge) != 0 || merged_hits_.count(edge) != 0;
+    }
+
+    /** Record a merged-in edge without a raw count; true if new. */
+    bool
+    markHit(size_t edge)
+    {
+        if (countAt(edge) != 0)
+            return false;
+        return merged_hits_.insert(edge).second;
+    }
+
     /** AFL's power-of-two hit-count bucketing. */
     static int
     bucketOf(uint64_t count)
@@ -106,13 +193,22 @@ class CoverageMap
     bucketSet() const
     {
         std::set<std::tuple<int, bool, int>> out = buckets_;
-        for (const auto &[edge, count] : counts_)
-            out.insert({edge.first, edge.second, bucketOf(count)});
+        for (size_t edge = 0; edge < counts_.size(); ++edge) {
+            if (counts_[edge] != 0) {
+                out.insert({static_cast<int>(edge / 2), edge % 2 == 1,
+                            bucketOf(counts_[edge])});
+            }
+        }
         return out;
     }
 
-    std::set<std::pair<int, bool>> hits_;
-    std::map<std::pair<int, bool>, uint64_t> counts_;
+    /** Raw execution count per edge, indexed branch_id * 2 + taken. */
+    std::vector<uint64_t> counts_;
+    /** Number of non-zero entries in counts_. */
+    size_t distinct_counted_ = 0;
+    /** Edges merged in from other maps without a raw count. */
+    std::set<size_t> merged_hits_;
+    /** Hit-count buckets merged in from other maps. */
     std::set<std::tuple<int, bool, int>> buckets_;
     int num_branches_ = 0;
 };

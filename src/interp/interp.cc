@@ -1,15 +1,57 @@
 #include "interp/interp.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <functional>
+#include <sstream>
 
 #include "cir/sema.h"
+#include "interp/bytecode/bytecode.h"
 #include "support/diagnostics.h"
 #include "support/run_context.h"
 
 namespace heterogen::interp {
 
 using namespace cir;
+
+EngineKind
+defaultEngine()
+{
+    static const EngineKind kDefault = [] {
+        EngineKind out = EngineKind::TreeWalk;
+        if (const char *env = std::getenv("HETEROGEN_ENGINE"))
+            parseEngineName(env, &out); // unknown names keep the default
+        return out;
+    }();
+    return kDefault;
+}
+
+bool
+parseEngineName(const std::string &name, EngineKind *out)
+{
+    if (name.empty())
+        return true;
+    if (name == "tree_walk")
+        *out = EngineKind::TreeWalk;
+    else if (name == "bytecode")
+        *out = EngineKind::Bytecode;
+    else if (name == "differential")
+        *out = EngineKind::Differential;
+    else
+        return false;
+    return true;
+}
+
+const char *
+engineName(EngineKind engine)
+{
+    switch (engine) {
+      case EngineKind::TreeWalk: return "tree_walk";
+      case EngineKind::Bytecode: return "bytecode";
+      case EngineKind::Differential: return "differential";
+    }
+    return "tree_walk";
+}
 
 bool
 RunResult::sameBehavior(const RunResult &other) const
@@ -27,22 +69,6 @@ RunResult::sameBehavior(const RunResult &other) const
 
 namespace {
 
-/** Per-operation cycle costs for the CPU latency model (2 GHz core). */
-struct CpuCosts
-{
-    static constexpr uint64_t kIntAlu = 1;
-    static constexpr uint64_t kIntMul = 3;
-    static constexpr uint64_t kIntDiv = 12;
-    static constexpr uint64_t kFloatAlu = 3;
-    static constexpr uint64_t kFloatMul = 5;
-    static constexpr uint64_t kFloatDiv = 15;
-    static constexpr uint64_t kMem = 2;
-    static constexpr uint64_t kBranch = 1;
-    static constexpr uint64_t kCall = 6;
-    static constexpr uint64_t kMath = 20;
-    static constexpr uint64_t kStream = 2;
-};
-
 /** Control-flow signal from statement execution. */
 enum class Flow { Normal, Break, Continue, Return };
 
@@ -50,7 +76,7 @@ enum class Flow { Normal, Break, Continue, Return };
 struct Layout
 {
     std::vector<std::string> field_names;
-    std::vector<TypePtr> field_types;
+    std::vector<const Type *> field_types;
     std::vector<bool> field_is_ref;
 
     int
@@ -70,7 +96,7 @@ struct Layout
 struct Binding
 {
     Place place;
-    TypePtr type;
+    const cir::Type *type = nullptr;
 };
 
 /** One call frame of lexical scopes. */
@@ -104,7 +130,7 @@ struct Frame
 struct PlaceAndType
 {
     Place place;
-    TypePtr type;
+    const cir::Type *type = nullptr;
 };
 
 class Engine
@@ -168,7 +194,7 @@ class Engine
             Layout layout;
             for (const Field &f : sd->fields) {
                 layout.field_names.push_back(f.name);
-                layout.field_types.push_back(f.type);
+                layout.field_types.push_back(f.type.get());
                 layout.field_is_ref.push_back(f.is_reference);
             }
             layouts_[sd->name] = std::move(layout);
@@ -199,7 +225,7 @@ class Engine
 
     /** Flattened cell count of one instance of a type. */
     int
-    flatCells(const TypePtr &t) const
+    flatCells(const cir::Type *t) const
     {
         if (!t)
             return 1;
@@ -207,7 +233,7 @@ class Engine
             long n = t->arraySize();
             if (n == kUnknownArraySize)
                 throw Trap("sizeof of unknown-size array");
-            return static_cast<int>(n) * flatCells(t->element());
+            return static_cast<int>(n) * flatCells(t->element().get());
         }
         if (t->isStruct())
             return layoutOf(t->structName()).size();
@@ -371,6 +397,9 @@ class Engine
         charge(CpuCosts::kBranch);
         if (opts_.coverage)
             opts_.coverage->record(branch_id, taken);
+        if (opts_.branch_log)
+            opts_.branch_log->events.push_back(
+                {branch_id, taken, steps_, cycles_});
     }
 
     void
@@ -407,7 +436,7 @@ class Engine
         step();
         const TypePtr &t = decl.type;
         Binding b;
-        b.type = t;
+        b.type = t.get();
         if (t->isArray()) {
             TypePtr scalar = t;
             long total = 1;
@@ -461,7 +490,7 @@ class Engine
             Value v = eval(*decl.init);
             charge(CpuCosts::kMem);
             if (t->isStruct() && v.isPointer()) {
-                copyStruct(v.asPlace(), b.place, t);
+                copyStruct(v.asPlace(), b.place, t.get());
             } else {
                 memory_.store(b.place, v);
                 profileStore(decl.name, memory_.load(b.place));
@@ -471,7 +500,7 @@ class Engine
     }
 
     void
-    copyStruct(Place from, Place to, const TypePtr &t)
+    copyStruct(Place from, Place to, const cir::Type *t)
     {
         const Layout &layout = layoutOf(t->structName());
         for (int i = 0; i < layout.size(); ++i) {
@@ -511,14 +540,14 @@ class Engine
         for (size_t i = 0; i < fn.params.size(); ++i) {
             const Param &p = fn.params[i];
             Binding b;
-            b.type = p.type;
+            b.type = p.type.get();
             if (p.type->isArray() || p.type->isPointer() ||
                 p.type->isStream() || p.is_reference) {
                 // Decay/reference semantics: one cell holding the handle.
                 // An array parameter decays to a pointer binding so name
                 // lookups load the handle instead of aliasing the cell.
                 if (p.type->isArray())
-                    b.type = Type::pointer(p.type->element());
+                    b.type = Type::pointer(p.type->element()).get();
                 int32_t cell = memory_.allocate(1, nullptr);
                 memory_.storeRaw({cell, 0}, args[i]);
                 b.place = {cell, 0};
@@ -528,7 +557,7 @@ class Engine
                     1, p.type, layout.field_types);
                 if (!args[i].isPointer())
                     throw Trap("struct argument mismatch");
-                copyStruct(args[i].asPlace(), {block, 0}, p.type);
+                copyStruct(args[i].asPlace(), {block, 0}, p.type.get());
                 b.place = {block, 0};
             } else {
                 int32_t cell = memory_.allocate(1, p.type);
@@ -754,7 +783,7 @@ class Engine
           }
           case ExprKind::SizeofType: {
             const auto &e = static_cast<const SizeofType &>(expr);
-            return Value::makeInt(flatCells(e.type));
+            return Value::makeInt(flatCells(e.type.get()));
           }
           case ExprKind::StructLit:
             return evalStructLit(static_cast<const StructLit &>(expr));
@@ -842,10 +871,10 @@ class Engine
 
     /** Pointer-arithmetic stride for a pointer-typed cell. */
     int
-    placeStride(const TypePtr &ptr_type) const
+    placeStride(const cir::Type *ptr_type) const
     {
         if (ptr_type && ptr_type->isPointer())
-            return flatCells(ptr_type->element());
+            return flatCells(ptr_type->element().get());
         return 1;
     }
 
@@ -950,7 +979,7 @@ class Engine
             // available; default 1.
             (void)lhs_expr;
             Place p = ptr.asPlace();
-            const TypePtr &bt = memory_.blockType(p.block);
+            const cir::Type *bt = memory_.blockType(p.block);
             if (bt && bt->isStruct())
                 return layoutOf(bt->structName()).size();
             return 1;
@@ -1195,7 +1224,8 @@ class Engine
             block = memory_.allocatePattern(int(count), t,
                                             layout.field_types, true);
         } else {
-            block = memory_.allocate(int(count) * flatCells(t), t, true);
+            block = memory_.allocate(int(count) * flatCells(t.get()), t,
+                                     true);
         }
         return Value::makePointer({block, 0});
     }
@@ -1310,9 +1340,8 @@ class Engine
                 Value p = eval(*e.operand);
                 if (!p.isPointer())
                     throw Trap("dereference of non-pointer");
-                TypePtr pointee;
                 // Static pointee type when the operand type is known.
-                return {p.asPlace(), pointee};
+                return {p.asPlace(), nullptr};
             }
             break;
           }
@@ -1323,15 +1352,15 @@ class Engine
             long i = idx.asInt();
             charge(CpuCosts::kIntAlu);
             int stride = 1;
-            TypePtr elem;
+            const cir::Type *elem = nullptr;
             if (base.type && base.type->isArray()) {
-                elem = base.type->element();
+                elem = base.type->element().get();
                 stride = flatCells(elem);
             } else if (base.type && base.type->isPointer()) {
-                elem = base.type->element();
+                elem = base.type->element().get();
                 stride = flatCells(elem);
             } else {
-                const TypePtr &bt = memory_.blockType(base.place.block);
+                const cir::Type *bt = memory_.blockType(base.place.block);
                 if (bt && bt->isStruct()) {
                     elem = bt;
                     stride = layoutOf(bt->structName()).size();
@@ -1411,7 +1440,7 @@ class Engine
     {
         if (value.isPointer()) {
             Place p = value.asPlace();
-            const TypePtr &bt = memory_.blockType(p.block);
+            const cir::Type *bt = memory_.blockType(p.block);
             if (bt && bt->isStruct())
                 return {p, bt};
         }
@@ -1439,18 +1468,194 @@ Interpreter::Interpreter(const TranslationUnit &tu, RunOptions options)
 
 Interpreter::~Interpreter() = default;
 
+const bytecode::Program *
+Interpreter::compiled(RunContext *trace)
+{
+    std::call_once(compile_once_, [&] {
+        std::string reason;
+        program_ = bytecode::compileProgram(tu_, &reason);
+        compile_failed_ = program_ == nullptr;
+        if (trace)
+            trace->count("interp.bytecode.compiles");
+    });
+    return program_.get();
+}
+
+namespace {
+
+/** One engine's observables, collected into private sinks. */
+struct Observed
+{
+    RunResult result;
+    CoverageMap coverage;
+    ValueProfile profile;
+    LoopProfile loop_profile;
+    std::vector<KernelArg> captured_args;
+    BranchEventLog branch_log;
+};
+
+/**
+ * Run one engine with every sink redirected to private storage so the
+ * two sides of a differential run can be compared field by field.
+ */
+Observed
+observeRun(const TranslationUnit &tu, const bytecode::Program *program,
+           const std::string &function, const std::vector<KernelArg> &args,
+           const RunOptions &options)
+{
+    Observed out;
+    RunOptions opts = options;
+    opts.coverage = &out.coverage;
+    opts.profile = &out.profile;
+    opts.loop_profile = &out.loop_profile;
+    if (!opts.capture_function.empty())
+        opts.captured_args = &out.captured_args;
+    opts.trace = nullptr;
+    opts.branch_log = &out.branch_log;
+    if (program) {
+        out.result = bytecode::executeProgram(*program, function, args,
+                                              opts);
+    } else {
+        Engine engine(tu, opts);
+        out.result = engine.run(function, args);
+    }
+    return out;
+}
+
+/**
+ * Describe the first difference between the two observations, or ""
+ * when the runs were bit-identical. Branch events are checked first:
+ * they are timestamped with the step and cycle clocks, so the earliest
+ * differing event localizes a divergence in execution order, not just
+ * in the end-of-run summary.
+ */
+std::string
+firstDivergence(const Observed &walk, const Observed &vm)
+{
+    std::ostringstream out;
+    const auto &we = walk.branch_log.events;
+    const auto &ve = vm.branch_log.events;
+    size_t n = std::min(we.size(), ve.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (we[i] == ve[i])
+            continue;
+        out << "branch event " << i << ": tree_walk {branch "
+            << we[i].branch_id << (we[i].taken ? " taken" : " not-taken")
+            << ", step " << we[i].steps << ", cycle " << we[i].cycles
+            << "} vs bytecode {branch " << ve[i].branch_id
+            << (ve[i].taken ? " taken" : " not-taken") << ", step "
+            << ve[i].steps << ", cycle " << ve[i].cycles << "}";
+        return out.str();
+    }
+    if (we.size() != ve.size()) {
+        out << "branch event count: tree_walk " << we.size()
+            << " vs bytecode " << ve.size();
+        return out.str();
+    }
+    if (walk.result.ok != vm.result.ok ||
+        walk.result.trap != vm.result.trap) {
+        out << "outcome: tree_walk "
+            << (walk.result.ok ? "ok" : "trap '" + walk.result.trap + "'")
+            << " vs bytecode "
+            << (vm.result.ok ? "ok" : "trap '" + vm.result.trap + "'");
+        return out.str();
+    }
+    if (walk.result.steps != vm.result.steps) {
+        out << "steps: tree_walk " << walk.result.steps << " vs bytecode "
+            << vm.result.steps;
+        return out.str();
+    }
+    if (walk.result.cycles != vm.result.cycles) {
+        out << "cycles: tree_walk " << walk.result.cycles
+            << " vs bytecode " << vm.result.cycles;
+        return out.str();
+    }
+    if (walk.result.has_ret != vm.result.has_ret ||
+        (walk.result.has_ret && !(walk.result.ret == vm.result.ret)))
+        return "return value differs";
+    if (!(walk.result.out_args == vm.result.out_args))
+        return "output arguments differ";
+    if (!(walk.coverage == vm.coverage))
+        return "branch coverage differs";
+    if (!(walk.profile == vm.profile))
+        return "value-range profile differs";
+    if (!(walk.loop_profile == vm.loop_profile))
+        return "loop profile differs";
+    if (!(walk.captured_args == vm.captured_args))
+        return "captured seed arguments differ";
+    return "";
+}
+
+} // namespace
+
+RunResult
+Interpreter::runDifferential(const std::string &function,
+                             const std::vector<KernelArg> &args,
+                             const RunOptions &options)
+{
+    Observed walk = observeRun(tu_, nullptr, function, args, options);
+    const bytecode::Program *program = compiled(options.trace);
+    Observed vm =
+        program ? observeRun(tu_, program, function, args, options)
+                : observeRun(tu_, nullptr, function, args, options);
+
+    RunResult result = walk.result;
+    result.divergence = firstDivergence(walk, vm);
+
+    // The tree walker is the reference: forward its observations into
+    // the caller's sinks so differential mode is a drop-in engine.
+    if (options.coverage)
+        options.coverage->absorb(walk.coverage);
+    if (options.profile)
+        options.profile->merge(walk.profile);
+    if (options.loop_profile)
+        options.loop_profile->absorb(walk.loop_profile);
+    if (options.captured_args && !options.capture_function.empty() &&
+        !walk.captured_args.empty())
+        *options.captured_args = std::move(walk.captured_args);
+    if (options.branch_log)
+        options.branch_log->events = std::move(walk.branch_log.events);
+    return result;
+}
+
 RunResult
 Interpreter::run(const std::string &function,
                  const std::vector<KernelArg> &args)
 {
-    Engine engine(tu_, options_);
-    RunResult result = engine.run(function, args);
-    if (options_.trace) {
-        options_.trace->count("interp.runs");
-        options_.trace->count("interp.steps",
-                              static_cast<int64_t>(result.steps));
+    return run(function, args, options_);
+}
+
+RunResult
+Interpreter::run(const std::string &function,
+                 const std::vector<KernelArg> &args,
+                 const RunOptions &options)
+{
+    EngineKind engine = options.engine;
+    RunResult result;
+    if (engine == EngineKind::Differential) {
+        result = runDifferential(function, args, options);
+    } else if (engine == EngineKind::Bytecode) {
+        const bytecode::Program *program = compiled(options.trace);
+        if (program) {
+            result = bytecode::executeProgram(*program, function, args,
+                                              options);
+        } else {
+            engine = EngineKind::TreeWalk; // unsupported construct
+            Engine walker(tu_, options);
+            result = walker.run(function, args);
+        }
+    } else {
+        Engine walker(tu_, options);
+        result = walker.run(function, args);
+    }
+    if (options.trace) {
+        options.trace->count("interp.runs");
+        options.trace->count(std::string("interp.execs.") +
+                             engineName(engine));
+        options.trace->count("interp.steps",
+                             static_cast<int64_t>(result.steps));
         if (!result.ok)
-            options_.trace->count("interp.traps");
+            options.trace->count("interp.traps");
     }
     return result;
 }

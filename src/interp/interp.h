@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,9 +41,83 @@ class RunContext;
 
 namespace heterogen::interp {
 
+namespace bytecode {
+struct Program;
+}
+
+/**
+ * Per-operation cycle costs for the CPU latency model (2 GHz core).
+ * Shared by the tree walker and the bytecode VM so the two engines
+ * charge identical cycles by construction.
+ */
+struct CpuCosts
+{
+    static constexpr uint64_t kIntAlu = 1;
+    static constexpr uint64_t kIntMul = 3;
+    static constexpr uint64_t kIntDiv = 12;
+    static constexpr uint64_t kFloatAlu = 3;
+    static constexpr uint64_t kFloatMul = 5;
+    static constexpr uint64_t kFloatDiv = 15;
+    static constexpr uint64_t kMem = 2;
+    static constexpr uint64_t kBranch = 1;
+    static constexpr uint64_t kCall = 6;
+    static constexpr uint64_t kMath = 20;
+    static constexpr uint64_t kStream = 2;
+};
+
+/**
+ * Which execution engine runs the program. All engines are observably
+ * bit-identical (docs/INTERP.md documents the contract); they differ
+ * only in host-side speed.
+ */
+enum class EngineKind
+{
+    TreeWalk,     ///< the reference AST walker
+    Bytecode,     ///< compile once, dispatch-loop VM (the fast path)
+    Differential, ///< run both, compare every observable, report drift
+};
+
+/**
+ * Process default engine: the HETEROGEN_ENGINE environment variable
+ * ("tree_walk", "bytecode", "differential") or TreeWalk when unset.
+ * CI uses the variable to rerun the property and golden suites on the
+ * bytecode engine without touching any call site.
+ */
+EngineKind defaultEngine();
+
+/** Parse an engine name; "" keeps `out` untouched. False on unknown. */
+bool parseEngineName(const std::string &name, EngineKind *out);
+
+/** Canonical name for an engine ("tree_walk", ...). */
+const char *engineName(EngineKind engine);
+
+/**
+ * One observed branch decision with the clock state at the record.
+ * Sequences of these are the differential engine's alignment points:
+ * two bit-identical runs produce identical event sequences, so the
+ * first differing event localizes a divergence in time.
+ */
+struct BranchEvent
+{
+    int branch_id = -1;
+    bool taken = false;
+    uint64_t steps = 0;
+    uint64_t cycles = 0;
+
+    bool operator==(const BranchEvent &other) const = default;
+};
+
+/** Sink recording every recordBranch call of a run, in order. */
+struct BranchEventLog
+{
+    std::vector<BranchEvent> events;
+};
+
 /** Knobs for one interpreter run. */
 struct RunOptions
 {
+    /** Execution engine (see EngineKind; default honours HETEROGEN_ENGINE). */
+    EngineKind engine = defaultEngine();
     /** Abort with a trap after this many evaluation steps. */
     uint64_t max_steps = 20'000'000;
     /** Abort with a trap beyond this call depth (recursion guard). */
@@ -66,6 +142,11 @@ struct RunOptions
      * thread-count invariant because they are plain integer sums.
      */
     RunContext *trace = nullptr;
+    /**
+     * Differential-engine internal: when non-null, every recordBranch
+     * appends a BranchEvent here. Costs nothing when unset.
+     */
+    BranchEventLog *branch_log = nullptr;
 };
 
 /** Outcome of one run. */
@@ -79,6 +160,13 @@ struct RunResult
     std::vector<KernelArg> out_args;
     uint64_t cycles = 0;
     uint64_t steps = 0;
+    /**
+     * Engine::Differential only: empty when both engines agreed on
+     * every observable; otherwise a description of the first diverging
+     * site (branch-event index, then summary field). Always empty for
+     * the single-engine modes.
+     */
+    std::string divergence;
 
     /** Wall-clock estimate at the CPU model's 2 GHz clock. */
     double cpuMillis() const { return double(cycles) * 0.5e-6; }
@@ -91,7 +179,11 @@ struct RunResult
  * Interpreter facade bound to one translation unit.
  *
  * Each call to run() executes with fresh memory and fresh globals; struct
- * layouts are cached across runs.
+ * layouts — and, for the bytecode engine, the compiled program — are
+ * cached across runs. Hot loops (fuzzing, difftest) construct one
+ * Interpreter per campaign and call the per-run-options overload so the
+ * compile cost is paid once; compilation is thread-safe, so concurrent
+ * run() calls over one instance are fine.
  */
 class Interpreter
 {
@@ -110,9 +202,22 @@ class Interpreter
     RunResult run(const std::string &function,
                   const std::vector<KernelArg> &args);
 
+    /** Same, with per-run options (engine, sinks, limits). */
+    RunResult run(const std::string &function,
+                  const std::vector<KernelArg> &args,
+                  const RunOptions &options);
+
   private:
+    const bytecode::Program *compiled(RunContext *trace);
+    RunResult runDifferential(const std::string &function,
+                              const std::vector<KernelArg> &args,
+                              const RunOptions &options);
+
     const cir::TranslationUnit &tu_;
     RunOptions options_;
+    std::once_flag compile_once_;
+    std::unique_ptr<const bytecode::Program> program_;
+    bool compile_failed_ = false;
 };
 
 /** Convenience one-shot run. */

@@ -28,6 +28,8 @@ struct LoopRecord
     uint64_t cycles_exclusive = 0;
     /** Number of times the loop was entered from outside. */
     uint64_t entries = 0;
+
+    bool operator==(const LoopRecord &other) const = default;
 };
 
 /** Whole-run loop profile. */
@@ -44,6 +46,26 @@ struct LoopProfile
         for (const auto &[id, rec] : loops)
             total += rec.cycles_exclusive;
         return total;
+    }
+
+    bool operator==(const LoopProfile &other) const = default;
+
+    /**
+     * Fold another profile in as if its loops had run here directly
+     * (the differential engine forwards private sinks this way).
+     */
+    void
+    absorb(const LoopProfile &other)
+    {
+        root_cycles += other.root_cycles;
+        for (const auto &[id, rec] : other.loops) {
+            LoopRecord &mine = loops[id];
+            mine.node_id = rec.node_id;
+            mine.parent_id = rec.parent_id;
+            mine.iterations += rec.iterations;
+            mine.cycles_exclusive += rec.cycles_exclusive;
+            mine.entries += rec.entries;
+        }
     }
 };
 

@@ -2,43 +2,6 @@
 
 namespace heterogen::interp {
 
-Memory::Memory()
-{
-    // Block 0 is the reserved null block; never alive.
-    blocks_.push_back(MemBlock{});
-    blocks_[0].alive = false;
-}
-
-int32_t
-Memory::allocate(int count, cir::TypePtr elem, bool from_malloc)
-{
-    if (count < 0)
-        throw Trap("allocation with negative size");
-    MemBlock block;
-    block.cells.resize(static_cast<size_t>(count));
-    block.elem_type = std::move(elem);
-    block.from_malloc = from_malloc;
-    blocks_.push_back(std::move(block));
-    return static_cast<int32_t>(blocks_.size() - 1);
-}
-
-int32_t
-Memory::allocatePattern(int count, cir::TypePtr tag,
-                        std::vector<cir::TypePtr> pattern, bool from_malloc)
-{
-    if (count < 0)
-        throw Trap("allocation with negative size");
-    if (pattern.empty())
-        throw Trap("struct allocation with empty layout");
-    MemBlock block;
-    block.cells.resize(static_cast<size_t>(count) * pattern.size());
-    block.elem_type = std::move(tag);
-    block.cell_types = std::move(pattern);
-    block.from_malloc = from_malloc;
-    blocks_.push_back(std::move(block));
-    return static_cast<int32_t>(blocks_.size() - 1);
-}
-
 void
 Memory::release(Place p)
 {
@@ -54,76 +17,6 @@ Memory::release(Place p)
     if (p.offset != 0)
         throw Trap("free of interior pointer");
     block.alive = false;
-}
-
-const MemBlock &
-Memory::checkedBlock(Place p) const
-{
-    if (p.isNull())
-        throw Trap("null pointer dereference");
-    if (p.block < 0 || p.block >= static_cast<int32_t>(blocks_.size()))
-        throw Trap("wild pointer dereference");
-    const MemBlock &block = blocks_[p.block];
-    if (!block.alive)
-        throw Trap("use after free");
-    if (p.offset < 0 ||
-        p.offset >= static_cast<int32_t>(block.cells.size())) {
-        throw Trap("out-of-bounds access at offset " +
-                   std::to_string(p.offset) + " of block size " +
-                   std::to_string(block.cells.size()));
-    }
-    return block;
-}
-
-const Value &
-Memory::load(Place p) const
-{
-    const MemBlock &block = checkedBlock(p);
-    return block.cells[p.offset];
-}
-
-void
-Memory::store(Place p, const Value &v)
-{
-    const MemBlock &cblock = checkedBlock(p);
-    MemBlock &block = const_cast<MemBlock &>(cblock);
-    const cir::TypePtr &cell_type =
-        block.cell_types.empty()
-            ? block.elem_type
-            : block.cell_types[p.offset % block.cell_types.size()];
-    block.cells[p.offset] = coerceToType(v, cell_type);
-}
-
-void
-Memory::storeRaw(Place p, Value v)
-{
-    const MemBlock &cblock = checkedBlock(p);
-    MemBlock &block = const_cast<MemBlock &>(cblock);
-    block.cells[p.offset] = std::move(v);
-}
-
-int
-Memory::blockSize(int32_t block) const
-{
-    if (block <= 0 || block >= static_cast<int32_t>(blocks_.size()))
-        return 0;
-    return static_cast<int>(blocks_[block].cells.size());
-}
-
-const cir::TypePtr &
-Memory::blockType(int32_t block) const
-{
-    static const cir::TypePtr null_type;
-    if (block <= 0 || block >= static_cast<int32_t>(blocks_.size()))
-        return null_type;
-    return blocks_[block].elem_type;
-}
-
-bool
-Memory::alive(int32_t block) const
-{
-    return block > 0 && block < static_cast<int32_t>(blocks_.size()) &&
-           blocks_[block].alive;
 }
 
 int32_t
@@ -184,7 +77,7 @@ Memory::liveCells() const
     size_t total = 0;
     for (const MemBlock &b : blocks_) {
         if (b.alive)
-            total += b.cells.size();
+            total += static_cast<size_t>(b.size);
     }
     return total;
 }

@@ -6,6 +6,13 @@
  * of Value cells. Pointers are (block, offset) pairs, so out-of-bounds,
  * null-dereference and use-after-free become precise traps rather than
  * undefined behaviour — the trap text feeds differential testing.
+ *
+ * Cells live in one flat arena shared by all blocks. load() returns by
+ * value (Value is trivially copyable) so the arena can relocate as it
+ * grows, and blocks are plain structs — struct-field type patterns live
+ * in a side arena so allocation is a bump plus a push_back. These access
+ * paths are header-inline: allocation and load/store are the
+ * interpreter's hottest operations by a wide margin.
  */
 
 #ifndef HETEROGEN_INTERP_MEMORY_H
@@ -13,6 +20,7 @@
 
 #include <deque>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "interp/value.h"
@@ -26,16 +34,19 @@ class Trap : public std::runtime_error
     explicit Trap(const std::string &msg) : std::runtime_error(msg) {}
 };
 
-/** One allocated block of cells. */
+/** One allocated block: a typed span of cells in the arena. */
 struct MemBlock
 {
-    std::vector<Value> cells;
-    cir::TypePtr elem_type; ///< declared cell type (nullable)
+    size_t base = 0; ///< first cell in the arena
+    int32_t size = 0; ///< cell count
     /**
-     * For struct-typed blocks: the repeating per-cell type pattern (one
-     * entry per field). Empty for scalar blocks.
+     * For struct-typed blocks: span into the pattern arena holding the
+     * repeating per-cell type pattern (one entry per field).
+     * pattern_len == 0 marks a scalar block.
      */
-    std::vector<cir::TypePtr> cell_types;
+    int32_t pattern_pos = 0;
+    int32_t pattern_len = 0;
+    const cir::Type *elem_type = nullptr; ///< declared cell type (nullable)
     bool alive = true;
     bool from_malloc = false;
 };
@@ -46,39 +57,146 @@ struct MemBlock
 class Memory
 {
   public:
-    Memory();
+    Memory()
+    {
+        cells_.reserve(256);
+        blocks_.reserve(64);
+        // Block 0 is the reserved null block; never alive.
+        blocks_.push_back(MemBlock{});
+        blocks_[0].alive = false;
+    }
 
     /** Allocate a block of `count` cells typed `elem`. Returns block id. */
-    int32_t allocate(int count, cir::TypePtr elem, bool from_malloc = false);
+    int32_t
+    allocate(int count, const cir::Type *elem, bool from_malloc = false)
+    {
+        if (count < 0)
+            throw Trap("allocation with negative size");
+        MemBlock block;
+        block.base = cells_.size();
+        block.size = count;
+        block.elem_type = elem;
+        block.from_malloc = from_malloc;
+        cells_.resize(cells_.size() + static_cast<size_t>(count));
+        blocks_.push_back(block);
+        return static_cast<int32_t>(blocks_.size() - 1);
+    }
+
+    int32_t
+    allocate(int count, const cir::TypePtr &elem, bool from_malloc = false)
+    {
+        return allocate(count, elem.get(), from_malloc);
+    }
+
+    int32_t
+    allocatePattern(int count, const cir::TypePtr &tag,
+                    const std::vector<const cir::Type *> &pattern,
+                    bool from_malloc = false)
+    {
+        return allocatePattern(count, tag.get(), pattern, from_malloc);
+    }
 
     /**
      * Allocate `count` instances of a struct whose fields have the given
      * per-cell type pattern; total cells = count * pattern.size().
      */
-    int32_t allocatePattern(int count, cir::TypePtr tag,
-                            std::vector<cir::TypePtr> pattern,
-                            bool from_malloc = false);
+    int32_t
+    allocatePattern(int count, const cir::Type *tag,
+                    const std::vector<const cir::Type *> &pattern,
+                    bool from_malloc = false)
+    {
+        if (count < 0)
+            throw Trap("allocation with negative size");
+        if (pattern.empty())
+            throw Trap("struct allocation with empty layout");
+        MemBlock block;
+        block.base = cells_.size();
+        block.size =
+            static_cast<int32_t>(static_cast<size_t>(count) * pattern.size());
+        block.elem_type = tag;
+        block.pattern_pos = static_cast<int32_t>(pattern_cells_.size());
+        block.pattern_len = static_cast<int32_t>(pattern.size());
+        pattern_cells_.insert(pattern_cells_.end(), pattern.begin(),
+                              pattern.end());
+        block.from_malloc = from_malloc;
+        cells_.resize(cells_.size() + static_cast<size_t>(block.size));
+        blocks_.push_back(block);
+        return static_cast<int32_t>(blocks_.size() - 1);
+    }
+
+    /**
+     * Restore to freshly-constructed state. Capacity of the arenas is
+     * kept, so a reused Memory allocates nothing on the fast path.
+     */
+    void
+    reset()
+    {
+        cells_.clear();
+        blocks_.clear();
+        pattern_cells_.clear();
+        streams_.clear();
+        blocks_.push_back(MemBlock{});
+        blocks_[0].alive = false;
+    }
 
     /** Free a malloc'd block; traps on double free / non-heap free. */
     void release(Place p);
 
     /** Load one cell; traps on bad access. */
-    const Value &load(Place p) const;
+    Value
+    load(Place p) const
+    {
+        const MemBlock &block = checkedBlock(p);
+        return cells_[block.base + static_cast<size_t>(p.offset)];
+    }
 
     /** Store one cell with coercion to the block's element type. */
-    void store(Place p, const Value &v);
+    void
+    store(Place p, const Value &v)
+    {
+        const MemBlock &block = checkedBlock(p);
+        const cir::Type *cell_type =
+            block.pattern_len == 0
+                ? block.elem_type
+                : pattern_cells_[static_cast<size_t>(
+                      block.pattern_pos + p.offset % block.pattern_len)];
+        cells_[block.base + static_cast<size_t>(p.offset)] =
+            coerceToType(v, cell_type);
+    }
 
     /** Store without type coercion (used to seed typed aggregates). */
-    void storeRaw(Place p, Value v);
+    void
+    storeRaw(Place p, Value v)
+    {
+        const MemBlock &block = checkedBlock(p);
+        cells_[block.base + static_cast<size_t>(p.offset)] = v;
+    }
 
     /** Number of cells in a block. */
-    int blockSize(int32_t block) const;
+    int
+    blockSize(int32_t block) const
+    {
+        if (block <= 0 || block >= static_cast<int32_t>(blocks_.size()))
+            return 0;
+        return blocks_[block].size;
+    }
 
     /** The block's declared element type (may be null). */
-    const cir::TypePtr &blockType(int32_t block) const;
+    const cir::Type *
+    blockType(int32_t block) const
+    {
+        if (block <= 0 || block >= static_cast<int32_t>(blocks_.size()))
+            return nullptr;
+        return blocks_[block].elem_type;
+    }
 
     /** True if the block id is valid and alive. */
-    bool alive(int32_t block) const;
+    bool
+    alive(int32_t block) const
+    {
+        return block > 0 && block < static_cast<int32_t>(blocks_.size()) &&
+               blocks_[block].alive;
+    }
 
     /** Create a new stream; returns its id. */
     int32_t createStream();
@@ -93,11 +211,31 @@ class Memory
     size_t liveCells() const;
 
   private:
-    const MemBlock &checkedBlock(Place p) const;
+    const MemBlock &
+    checkedBlock(Place p) const
+    {
+        if (p.isNull())
+            throw Trap("null pointer dereference");
+        if (p.block < 0 || p.block >= static_cast<int32_t>(blocks_.size()))
+            throw Trap("wild pointer dereference");
+        const MemBlock &block = blocks_[p.block];
+        if (!block.alive)
+            throw Trap("use after free");
+        if (p.offset < 0 || p.offset >= block.size)
+            throw Trap("out-of-bounds access at offset " +
+                       std::to_string(p.offset) + " of block size " +
+                       std::to_string(block.size));
+        return block;
+    }
+
     std::deque<Value> &stream(int32_t id);
     const std::deque<Value> &stream(int32_t id) const;
 
+    /** All blocks' cells, end-to-end; grows monotonically per run. */
+    std::vector<Value> cells_;
     std::vector<MemBlock> blocks_;
+    /** Side arena for struct blocks' per-cell type patterns. */
+    std::vector<const cir::Type *> pattern_cells_;
     std::vector<std::deque<Value>> streams_;
 };
 

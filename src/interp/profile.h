@@ -74,6 +74,8 @@ struct ValueRange
     }
 
     bool nonNegative() const { return saw_int && min_int >= 0; }
+
+    bool operator==(const ValueRange &other) const = default;
 };
 
 /**
@@ -104,6 +106,12 @@ class ValueProfile
     const std::map<std::string, ValueRange> &ranges() const
     {
         return ranges_;
+    }
+
+    bool
+    operator==(const ValueProfile &other) const
+    {
+        return ranges_ == other.ranges_;
     }
 
     void

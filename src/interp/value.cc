@@ -6,19 +6,6 @@
 namespace heterogen::interp {
 
 bool
-Value::truthy() const
-{
-    switch (kind_) {
-      case ValueKind::Int: return int_ != 0;
-      case ValueKind::Float: return float_ != 0.0;
-      case ValueKind::Pointer: return !place_.isNull();
-      case ValueKind::Stream: return true;
-      case ValueKind::Unset: return false;
-    }
-    return false;
-}
-
-bool
 Value::equals(const Value &other) const
 {
     if (kind_ != other.kind_) {
@@ -65,18 +52,6 @@ Value::str() const
     return os.str();
 }
 
-long
-wrapInt(long v, int bits, bool is_signed)
-{
-    if (bits >= 64)
-        return v;
-    const unsigned long mask = (1UL << bits) - 1;
-    unsigned long u = static_cast<unsigned long>(v) & mask;
-    if (is_signed && (u & (1UL << (bits - 1))))
-        u |= ~mask;
-    return static_cast<long>(u);
-}
-
 double
 quantizeFloat(double v, int mantissa_bits)
 {
@@ -87,58 +62,6 @@ quantizeFloat(double v, int mantissa_bits)
     double scale = std::ldexp(1.0, mantissa_bits + 1);
     mant = std::round(mant * scale) / scale;
     return std::ldexp(mant, exp);
-}
-
-Value
-coerceToType(const Value &value, const cir::TypePtr &type)
-{
-    using cir::TypeKind;
-    if (!type)
-        return value;
-    switch (type->kind()) {
-      case TypeKind::Bool:
-        return Value::makeInt(value.truthy() ? 1 : 0, type);
-      case TypeKind::Char:
-        return Value::makeInt(
-            wrapInt(value.isFloat() ? long(value.asFloat())
-                                    : value.asInt(),
-                    8, true),
-            type);
-      case TypeKind::Int:
-        return Value::makeInt(
-            wrapInt(value.isFloat() ? long(value.asFloat())
-                                    : value.asInt(),
-                    32, true),
-            type);
-      case TypeKind::Long:
-        return Value::makeInt(value.isFloat() ? long(value.asFloat())
-                                              : value.asInt(),
-                              type);
-      case TypeKind::FpgaInt:
-      case TypeKind::FpgaUint: {
-        bool is_signed = type->kind() == TypeKind::FpgaInt;
-        long raw = value.isFloat() ? long(value.asFloat()) : value.asInt();
-        return Value::makeInt(wrapInt(raw, type->width(), is_signed),
-                              type);
-      }
-      case TypeKind::Float:
-        return Value::makeFloat(static_cast<float>(value.asFloat()), type);
-      case TypeKind::Double:
-      case TypeKind::LongDouble:
-        return Value::makeFloat(value.asFloat(), type);
-      case TypeKind::FpgaFloat:
-        return Value::makeFloat(
-            quantizeFloat(value.asFloat(), type->mantissaBits()), type);
-      case TypeKind::Pointer:
-        // Integer constants stored into pointer cells become (null +
-        // offset) pointers, so `int *p = 0` yields a real null pointer.
-        if (value.isInt())
-            return Value::makePointer(
-                {0, static_cast<int32_t>(value.asInt())});
-        return value;
-      default:
-        return value;
-    }
 }
 
 } // namespace heterogen::interp

@@ -41,30 +41,49 @@ struct Place
     }
 };
 
-/** One scalar runtime value. */
+/**
+ * One scalar runtime value.
+ *
+ * The declared type is a raw Type pointer: every Type is either a
+ * process-lifetime singleton or interned by its factory (cir/type.cc),
+ * so values never own their type — which keeps Value trivially
+ * copyable, the property the interpreter hot paths depend on.
+ */
 class Value
 {
   public:
     Value() = default;
 
     static Value
-    makeInt(long v, cir::TypePtr type = nullptr)
+    makeInt(long v, const cir::Type *type = nullptr)
     {
         Value out;
         out.kind_ = ValueKind::Int;
         out.int_ = v;
-        out.type_ = std::move(type);
+        out.type_ = type;
         return out;
     }
 
     static Value
-    makeFloat(double v, cir::TypePtr type = nullptr)
+    makeInt(long v, const cir::TypePtr &type)
+    {
+        return makeInt(v, type.get());
+    }
+
+    static Value
+    makeFloat(double v, const cir::Type *type = nullptr)
     {
         Value out;
         out.kind_ = ValueKind::Float;
         out.float_ = v;
-        out.type_ = std::move(type);
+        out.type_ = type;
         return out;
+    }
+
+    static Value
+    makeFloat(double v, const cir::TypePtr &type)
+    {
+        return makeFloat(v, type.get());
     }
 
     static Value
@@ -99,10 +118,21 @@ class Value
     int32_t streamId() const { return static_cast<int32_t>(int_); }
 
     /** Declared cell type (may be null for temporaries). */
-    const cir::TypePtr &type() const { return type_; }
+    const cir::Type *type() const { return type_; }
 
     /** Truthiness per C semantics. */
-    bool truthy() const;
+    bool
+    truthy() const
+    {
+        switch (kind_) {
+          case ValueKind::Int: return int_ != 0;
+          case ValueKind::Float: return float_ != 0.0;
+          case ValueKind::Pointer: return !place_.isNull();
+          case ValueKind::Stream: return true;
+          case ValueKind::Unset: return false;
+        }
+        return false;
+    }
 
     /** Structural equality used by differential testing. */
     bool equals(const Value &other) const;
@@ -114,20 +144,87 @@ class Value
     long int_ = 0;
     double float_ = 0;
     Place place_;
-    cir::TypePtr type_;
+    const cir::Type *type_ = nullptr;
 };
 
-/**
- * Coerce a value for storage into a cell of the given declared type,
- * applying integer bitwidth wrapping and float quantization.
- */
-Value coerceToType(const Value &value, const cir::TypePtr &type);
-
 /** Wrap an integer to a signed/unsigned field of `bits` bits. */
-long wrapInt(long v, int bits, bool is_signed);
+inline long
+wrapInt(long v, int bits, bool is_signed)
+{
+    if (bits >= 64)
+        return v;
+    const unsigned long mask = (1UL << bits) - 1;
+    unsigned long u = static_cast<unsigned long>(v) & mask;
+    if (is_signed && (u & (1UL << (bits - 1))))
+        u |= ~mask;
+    return static_cast<long>(u);
+}
 
 /** Quantize a double to a float with `mant` mantissa bits. */
 double quantizeFloat(double v, int mantissa_bits);
+
+/**
+ * Coerce a value for storage into a cell of the given declared type,
+ * applying integer bitwidth wrapping and float quantization. Inline:
+ * this sits on every store executed by both engines.
+ */
+inline Value
+coerceToType(const Value &value, const cir::Type *type)
+{
+    using cir::TypeKind;
+    if (!type)
+        return value;
+    switch (type->kind()) {
+      case TypeKind::Bool:
+        return Value::makeInt(value.truthy() ? 1 : 0, type);
+      case TypeKind::Char:
+        return Value::makeInt(
+            wrapInt(value.isFloat() ? long(value.asFloat())
+                                    : value.asInt(),
+                    8, true),
+            type);
+      case TypeKind::Int:
+        return Value::makeInt(
+            wrapInt(value.isFloat() ? long(value.asFloat())
+                                    : value.asInt(),
+                    32, true),
+            type);
+      case TypeKind::Long:
+        return Value::makeInt(value.isFloat() ? long(value.asFloat())
+                                              : value.asInt(),
+                              type);
+      case TypeKind::FpgaInt:
+      case TypeKind::FpgaUint: {
+        bool is_signed = type->kind() == TypeKind::FpgaInt;
+        long raw = value.isFloat() ? long(value.asFloat()) : value.asInt();
+        return Value::makeInt(wrapInt(raw, type->width(), is_signed),
+                              type);
+      }
+      case TypeKind::Float:
+        return Value::makeFloat(static_cast<float>(value.asFloat()), type);
+      case TypeKind::Double:
+      case TypeKind::LongDouble:
+        return Value::makeFloat(value.asFloat(), type);
+      case TypeKind::FpgaFloat:
+        return Value::makeFloat(
+            quantizeFloat(value.asFloat(), type->mantissaBits()), type);
+      case TypeKind::Pointer:
+        // Integer constants stored into pointer cells become (null +
+        // offset) pointers, so `int *p = 0` yields a real null pointer.
+        if (value.isInt())
+            return Value::makePointer(
+                {0, static_cast<int32_t>(value.asInt())});
+        return value;
+      default:
+        return value;
+    }
+}
+
+inline Value
+coerceToType(const Value &value, const cir::TypePtr &type)
+{
+    return coerceToType(value, type.get());
+}
 
 } // namespace heterogen::interp
 

@@ -19,6 +19,7 @@
 #include "cir/ast.h"
 #include "fuzz/testsuite.h"
 #include "hls/config.h"
+#include "interp/interp.h"
 #include "support/worker_pool.h"
 
 namespace heterogen {
@@ -44,6 +45,12 @@ struct DiffTestOptions
      * an execution detail: results are invariant to the pool size.
      */
     WorkerPool *pool = nullptr;
+    /**
+     * Interpreter engine for both sides of every test. Bit-identical
+     * across engines (docs/INTERP.md), so pass/fail results and
+     * sim_minutes never depend on it.
+     */
+    interp::EngineKind engine = interp::defaultEngine();
 };
 
 /** Outcome of one differential-testing campaign. */

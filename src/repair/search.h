@@ -22,6 +22,7 @@
 
 #include "fuzz/testsuite.h"
 #include "hls/config.h"
+#include "interp/interp.h"
 #include "interp/profile.h"
 #include "repair/diffstat.h"
 #include "repair/edit.h"
@@ -71,6 +72,11 @@ struct SearchOptions
      * chain this way.
      */
     std::set<std::string> allowed_edits;
+    /**
+     * Interpreter engine for every fitness-check execution. Engines are
+     * bit-identical, so search traces do not depend on the choice.
+     */
+    interp::EngineKind engine = interp::defaultEngine();
 };
 
 /** One recorded search step (for traces and ablation analysis). */

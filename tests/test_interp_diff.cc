@@ -1,0 +1,621 @@
+/**
+ * @file
+ * Differential harness proving the bytecode engine bit-identical to the
+ * tree walker (docs/INTERP.md).
+ *
+ * Every program here runs under both engines with private observation
+ * sinks, and EVERY observable is compared: outcome (return value, out
+ * args, trap message), step count, modeled CPU cycles, branch coverage,
+ * value-range profile, per-loop cycle attribution, and the full ordered
+ * branch-event log. Inputs come from the ten evaluation subjects (with
+ * fuzzer-generated suites), their manual HLS ports, all 1000
+ * forum-corpus repro snippets across argument seeds, and a randomized
+ * program generator — plus directed trap-path cases and a self-test
+ * that the differential engine localizes an injected divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cir/parser.h"
+#include "cir/sema.h"
+#include "fuzz/fuzzer.h"
+#include "interp/bytecode/bytecode.h"
+#include "interp/interp.h"
+#include "subjects/forum_corpus.h"
+#include "subjects/subjects.h"
+#include "support/rng.h"
+
+namespace heterogen::interp {
+namespace {
+
+using cir::parse;
+
+/** Everything observable from one run, collected into private sinks. */
+struct Observation
+{
+    RunResult result;
+    CoverageMap coverage;
+    ValueProfile profile;
+    LoopProfile loops;
+    BranchEventLog branch_log;
+};
+
+Observation
+observe(Interpreter &interp, const std::string &fn,
+        const std::vector<KernelArg> &args, EngineKind engine,
+        uint64_t max_steps)
+{
+    Observation o;
+    RunOptions opts;
+    opts.engine = engine;
+    opts.max_steps = max_steps;
+    opts.coverage = &o.coverage;
+    opts.profile = &o.profile;
+    opts.loop_profile = &o.loops;
+    opts.branch_log = &o.branch_log;
+    o.result = interp.run(fn, args, opts);
+    return o;
+}
+
+/**
+ * Run `fn(args)` on the tree walker and the bytecode VM and assert
+ * every observable matches. `label` names the case in failures.
+ */
+void
+expectEnginesAgree(Interpreter &interp, const std::string &fn,
+                   const std::vector<KernelArg> &args,
+                   const std::string &label,
+                   uint64_t max_steps = 2'000'000)
+{
+    Observation walk =
+        observe(interp, fn, args, EngineKind::TreeWalk, max_steps);
+    Observation vm =
+        observe(interp, fn, args, EngineKind::Bytecode, max_steps);
+
+    EXPECT_EQ(walk.result.ok, vm.result.ok) << label;
+    EXPECT_EQ(walk.result.trap, vm.result.trap) << label;
+    EXPECT_EQ(walk.result.steps, vm.result.steps) << label;
+    EXPECT_EQ(walk.result.cycles, vm.result.cycles) << label;
+    EXPECT_EQ(walk.result.has_ret, vm.result.has_ret) << label;
+    EXPECT_TRUE(walk.result.ret == vm.result.ret) << label;
+    EXPECT_TRUE(walk.result.out_args == vm.result.out_args) << label;
+    EXPECT_TRUE(walk.coverage == vm.coverage) << label;
+    EXPECT_TRUE(walk.profile == vm.profile) << label;
+    EXPECT_TRUE(walk.loops == vm.loops) << label;
+    ASSERT_EQ(walk.branch_log.events.size(), vm.branch_log.events.size())
+        << label;
+    for (size_t i = 0; i < walk.branch_log.events.size(); ++i) {
+        ASSERT_TRUE(walk.branch_log.events[i] == vm.branch_log.events[i])
+            << label << " at branch event " << i;
+    }
+
+    // The differential engine must reach the same verdict.
+    RunOptions diff;
+    diff.engine = EngineKind::Differential;
+    diff.max_steps = max_steps;
+    RunResult both = interp.run(fn, args, diff);
+    EXPECT_EQ(both.divergence, "") << label;
+}
+
+/**
+ * The harness proves nothing if the compiler silently bailed and the
+ * "bytecode" runs fell back to the walker: require compilation.
+ */
+void
+expectCompiles(const cir::TranslationUnit &tu, const std::string &label)
+{
+    std::string reason;
+    auto program = bytecode::compileProgram(tu, &reason);
+    ASSERT_NE(program, nullptr)
+        << label << ": bytecode compile bailed: " << reason;
+}
+
+/** Deterministic argument vector for a function's parameter list. */
+std::vector<KernelArg>
+argsFor(const cir::FunctionDecl &fn, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<KernelArg> args;
+    for (const auto &p : fn.params) {
+        if (p.type->isArray() || p.type->isPointer() ||
+            p.type->isStream()) {
+            bool flt = p.type->element() && p.type->element()->isFloating();
+            long n = p.type->isArray() &&
+                             p.type->arraySize() != cir::kUnknownArraySize
+                         ? p.type->arraySize()
+                         : long(4 + rng.below(5));
+            if (flt) {
+                std::vector<double> xs;
+                for (long k = 0; k < n; ++k)
+                    xs.push_back(double(rng.range(-8, 8)) * 0.5);
+                args.push_back(KernelArg::ofFloats(std::move(xs)));
+            } else {
+                std::vector<long> xs;
+                for (long k = 0; k < n; ++k)
+                    xs.push_back(rng.range(-16, 16));
+                args.push_back(KernelArg::ofInts(std::move(xs)));
+            }
+        } else if (p.type->isFloating()) {
+            args.push_back(
+                KernelArg::ofFloat(double(rng.range(-6, 6)) * 0.75));
+        } else {
+            args.push_back(KernelArg::ofInt(rng.range(-4, 9)));
+        }
+    }
+    return args;
+}
+
+// --- the ten subjects + their fuzzer-generated suites --------------------
+
+fuzz::FuzzOptions
+smallCampaign(uint64_t seed)
+{
+    fuzz::FuzzOptions options;
+    options.rng_seed = seed;
+    options.max_executions = 120;
+    options.mutations_per_input = 8;
+    options.min_suite_size = 12;
+    options.max_steps_per_run = 200'000;
+    return options;
+}
+
+TEST(InterpDiff, SubjectsBitIdenticalOverFuzzedSuites)
+{
+    for (const auto &subject : subjects::allSubjects()) {
+        auto tu = parse(subject.source);
+        cir::SemaResult sema = cir::analyzeOrDie(*tu);
+        expectCompiles(*tu, subject.id);
+
+        fuzz::FuzzOptions options = smallCampaign(subject.fuzz_seed);
+        options.host_function = subject.host;
+        options.engine = EngineKind::TreeWalk;
+        fuzz::FuzzResult reference =
+            fuzz::fuzzKernel(*tu, subject.kernel, sema, options);
+
+        Interpreter interp(*tu);
+        for (const auto &test : reference.suite.cases()) {
+            expectEnginesAgree(interp, subject.kernel, test.args,
+                               subject.id + "/" + test.str(), 200'000);
+        }
+        for (const auto &args : subject.existing_tests) {
+            expectEnginesAgree(interp, subject.kernel, args,
+                               subject.id + "/existing", 200'000);
+        }
+    }
+}
+
+TEST(InterpDiff, FuzzCampaignsIdenticalAcrossEngines)
+{
+    // The whole campaign — corpus decisions, coverage, simulated clock —
+    // must come out the same when every execution runs on the VM.
+    for (const auto &subject : subjects::allSubjects()) {
+        auto tu = parse(subject.source);
+        cir::SemaResult sema = cir::analyzeOrDie(*tu);
+
+        fuzz::FuzzOptions options = smallCampaign(subject.fuzz_seed);
+        options.host_function = subject.host;
+        options.engine = EngineKind::TreeWalk;
+        fuzz::FuzzResult walk =
+            fuzz::fuzzKernel(*tu, subject.kernel, sema, options);
+
+        options.engine = EngineKind::Bytecode;
+        fuzz::FuzzResult vm =
+            fuzz::fuzzKernel(*tu, subject.kernel, sema, options);
+
+        ASSERT_EQ(walk.suite.size(), vm.suite.size()) << subject.id;
+        for (size_t i = 0; i < walk.suite.size(); ++i)
+            EXPECT_TRUE(walk.suite[i].args == vm.suite[i].args)
+                << subject.id << " case " << i;
+        EXPECT_TRUE(walk.coverage == vm.coverage) << subject.id;
+        EXPECT_EQ(walk.executions, vm.executions) << subject.id;
+        EXPECT_EQ(walk.sim_minutes, vm.sim_minutes) << subject.id;
+        EXPECT_EQ(walk.last_progress_minutes, vm.last_progress_minutes)
+            << subject.id;
+    }
+}
+
+TEST(InterpDiff, ManualPortsBitIdentical)
+{
+    for (const auto &subject : subjects::allSubjects()) {
+        if (subject.manual_source.empty())
+            continue;
+        auto tu = parse(subject.manual_source);
+        cir::analyzeOrDie(*tu);
+        expectCompiles(*tu, subject.id + "/manual");
+
+        const cir::FunctionDecl *kernel =
+            tu->findFunction(subject.kernel);
+        ASSERT_NE(kernel, nullptr) << subject.id;
+        Interpreter interp(*tu);
+        for (const auto &args : subject.existing_tests) {
+            expectEnginesAgree(interp, subject.kernel, args,
+                               subject.id + "/manual/existing", 200'000);
+        }
+        for (uint64_t seed = 1; seed <= 4; ++seed) {
+            expectEnginesAgree(interp, subject.kernel,
+                               argsFor(*kernel, seed),
+                               subject.id + "/manual/seed" +
+                                   std::to_string(seed),
+                               200'000);
+        }
+    }
+}
+
+// --- the 1000-snippet forum corpus ---------------------------------------
+
+TEST(InterpDiff, ForumCorpusSnippetsBitIdentical)
+{
+    auto posts = subjects::generateForumCorpus(1000, 2022);
+    ASSERT_EQ(posts.size(), 1000u);
+    int executed = 0;
+    for (const auto &post : posts) {
+        auto tu = parse(post.snippet);
+        cir::SemaResult sema = cir::analyze(*tu);
+        if (!sema.errors.empty())
+            continue; // snippets illustrate errors; some are unanalyzable
+        const cir::FunctionDecl *kernel = tu->findFunction("kernel");
+        if (!kernel)
+            continue;
+        expectCompiles(*tu, "post " + std::to_string(post.post_id));
+        Interpreter interp(*tu);
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            expectEnginesAgree(interp, "kernel",
+                               argsFor(*kernel, seed),
+                               "post " + std::to_string(post.post_id) +
+                                   " seed " + std::to_string(seed),
+                               100'000);
+            ++executed;
+        }
+        if (HasFatalFailure())
+            return;
+    }
+    // The corpus is supposed to exercise the engines, not skip them.
+    EXPECT_GT(executed, 2000);
+}
+
+// --- randomized programs --------------------------------------------------
+
+/**
+ * Generates always-terminating kernels over ints, floats and a fixed
+ * array: nested bounded loops, if/else, while, logical operators,
+ * ternaries and guarded division — the constructs whose step/cycle
+ * accounting is easiest to get subtly wrong in a compiler.
+ */
+class DiffProgramGen
+{
+  public:
+    explicit DiffProgramGen(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    generate()
+    {
+        std::ostringstream os;
+        os << "int kernel(int a[6], int x, int y) {\n"
+           << "    int acc = y;\n"
+           << "    float fac = 1.5;\n";
+        int stmts = 2 + int(rng_.below(5));
+        for (int i = 0; i < stmts; ++i)
+            emitStmt(os);
+        os << "    return acc + (int)fac;\n}\n";
+        return os.str();
+    }
+
+  private:
+    std::string
+    operand()
+    {
+        switch (rng_.below(5)) {
+          case 0: return "x";
+          case 1: return "y";
+          case 2: return "acc";
+          case 3: return "a[" + std::to_string(rng_.below(6)) + "]";
+          default: return std::to_string(rng_.range(-7, 7));
+        }
+    }
+
+    std::string
+    expr()
+    {
+        static const char *ops[] = {"+", "-", "*", "&", "|", "^"};
+        std::string e = operand();
+        int terms = 1 + int(rng_.below(3));
+        for (int i = 0; i < terms; ++i)
+            e += std::string(" ") + ops[rng_.below(6)] + " " + operand();
+        return e;
+    }
+
+    std::string
+    cond()
+    {
+        static const char *rel[] = {"<", ">", "==", "!=", "<=", ">="};
+        std::string c = operand() + " " + rel[rng_.below(6)] + " " +
+                        operand();
+        if (rng_.below(3) == 0)
+            c += (rng_.below(2) ? " && " : " || ") + operand() + " " +
+                 rel[rng_.below(6)] + " " + operand();
+        return c;
+    }
+
+    void
+    emitStmt(std::ostringstream &os)
+    {
+        switch (rng_.below(6)) {
+          case 0:
+            os << "    acc = " << expr() << ";\n";
+            break;
+          case 1:
+            os << "    a[" << rng_.below(6) << "] = " << expr()
+               << ";\n";
+            break;
+          case 2:
+            os << "    if (" << cond() << ") { acc += " << expr()
+               << "; } else { acc -= " << operand() << "; }\n";
+            break;
+          case 3: {
+            int n = 2 + int(rng_.below(6));
+            os << "    for (int i = 0; i < " << n
+               << "; i++) { acc += a[i % 6] + i; }\n";
+            break;
+          }
+          case 4:
+            os << "    acc = (" << cond() << ") ? " << operand()
+               << " : " << operand() << ";\n";
+            break;
+          default:
+            os << "    if (" << operand()
+               << " != 0) { acc = acc / (" << operand()
+               << " | 1); }\n"
+               << "    fac = fac * 1.25 + " << rng_.below(4) << ";\n";
+            break;
+        }
+    }
+
+    Rng rng_;
+};
+
+TEST(InterpDiff, RandomProgramsBitIdentical)
+{
+    for (uint64_t seed = 1; seed <= 150; ++seed) {
+        DiffProgramGen gen(seed);
+        std::string src = gen.generate();
+        auto tu = parse(src);
+        cir::analyzeOrDie(*tu);
+        expectCompiles(*tu, "gen seed " + std::to_string(seed));
+        Interpreter interp(*tu);
+        for (uint64_t arg_seed = 1; arg_seed <= 2; ++arg_seed) {
+            Rng rng(seed * 100 + arg_seed);
+            std::vector<long> a;
+            for (int k = 0; k < 6; ++k)
+                a.push_back(rng.range(-20, 20));
+            std::vector<KernelArg> args = {
+                KernelArg::ofInts(std::move(a)),
+                KernelArg::ofInt(rng.range(-10, 10)),
+                KernelArg::ofInt(rng.range(-10, 10)),
+            };
+            expectEnginesAgree(interp, "kernel", args,
+                               "gen " + std::to_string(seed) + "/" +
+                                   std::to_string(arg_seed) + "\n" + src);
+        }
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+// --- directed trap paths --------------------------------------------------
+
+TEST(InterpDiff, DivisionByZeroTrapsIdentically)
+{
+    auto tu = parse(R"(
+        int kernel(int a[4], int d) {
+            int acc = 0;
+            for (int i = 0; i < 4; i++) { acc += a[i]; }
+            return acc / d;
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    std::vector<KernelArg> args = {KernelArg::ofInts({1, 2, 3, 4}),
+                                   KernelArg::ofInt(0)};
+    expectEnginesAgree(interp, "kernel", args, "div by zero");
+    RunResult r = interp.run("kernel", args);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.trap, "integer division by zero");
+}
+
+TEST(InterpDiff, OutOfBoundsReadTrapsIdentically)
+{
+    auto tu = parse(R"(
+        int kernel(int n) {
+            int buf[4];
+            for (int i = 0; i < 4; i++) { buf[i] = i; }
+            return buf[n];
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    expectEnginesAgree(interp, "kernel", {KernelArg::ofInt(17)},
+                       "oob read");
+    RunResult r = interp.run("kernel", {KernelArg::ofInt(17)});
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(InterpDiff, OutOfBoundsWriteTrapsIdentically)
+{
+    auto tu = parse(R"(
+        int kernel(int n) {
+            int buf[4];
+            buf[n] = 9;
+            return 0;
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    expectEnginesAgree(interp, "kernel", {KernelArg::ofInt(-2)},
+                       "oob write");
+    RunResult r = interp.run("kernel", {KernelArg::ofInt(-2)});
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(InterpDiff, UninitializedReadBehavesIdentically)
+{
+    // Reading an Unset cell is defined behaviour in the memory model;
+    // both engines must agree on the resulting value and profile.
+    auto tu = parse(R"(
+        int kernel(int n) {
+            int buf[4];
+            int x = buf[n & 3];
+            return x + n;
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    expectEnginesAgree(interp, "kernel", {KernelArg::ofInt(2)},
+                       "uninitialized read");
+}
+
+TEST(InterpDiff, StepLimitLeavesIdenticalPartialCoverage)
+{
+    auto tu = parse(R"(
+        int kernel(int n) {
+            int acc = 0;
+            while (1) {
+                acc += n;
+                if (acc > 1000000) { break; }
+                if (acc < -1000000) { break; }
+            }
+            return acc;
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    // n = 0 never terminates: both engines must trap at the exact same
+    // step with the same partial coverage and cycle count.
+    expectEnginesAgree(interp, "kernel", {KernelArg::ofInt(0)},
+                       "step limit", 5'000);
+    RunResult r = interp.run("kernel", {KernelArg::ofInt(0)},
+                             [] {
+                                 RunOptions o;
+                                 o.max_steps = 5'000;
+                                 return o;
+                             }());
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.trap,
+              "step limit exceeded (possible non-termination)");
+    EXPECT_EQ(r.steps, 5'001u);
+}
+
+TEST(InterpDiff, CallDepthTrapsIdentically)
+{
+    auto tu = parse(R"(
+        int down(int n) { return down(n + 1); }
+        int kernel(int n) { return down(n); }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    expectEnginesAgree(interp, "kernel", {KernelArg::ofInt(0)},
+                       "call depth");
+    RunResult r = interp.run("kernel", {KernelArg::ofInt(0)});
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.trap, "call depth exceeded (runaway recursion?)");
+}
+
+// --- the differential engine's own reporting ------------------------------
+
+TEST(InterpDiff, DifferentialEngineReportsFirstDivergingSite)
+{
+    auto tu = parse(R"(
+        int kernel(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) { acc += i; }
+            }
+            return acc;
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+    RunOptions opts;
+    opts.engine = EngineKind::Differential;
+
+    // Healthy engines: no divergence on any input.
+    for (int n = 0; n <= 4; ++n) {
+        RunResult clean =
+            interp.run("kernel", {KernelArg::ofInt(n)}, opts);
+        EXPECT_TRUE(clean.ok);
+        EXPECT_EQ(clean.divergence, "") << "n=" << n;
+    }
+
+    // Inject a single-opcode fault: the VM charges one extra cycle at
+    // branch record #2. The harness must localize exactly that event.
+    bytecode::testing::corrupt_branch_event = 2;
+    RunResult hurt = interp.run("kernel", {KernelArg::ofInt(4)}, opts);
+    bytecode::testing::corrupt_branch_event = -1;
+
+    EXPECT_TRUE(hurt.ok); // the reference side still succeeded
+    ASSERT_NE(hurt.divergence, "");
+    EXPECT_NE(hurt.divergence.find("branch event 2"), std::string::npos)
+        << hurt.divergence;
+    EXPECT_NE(hurt.divergence.find("cycle"), std::string::npos)
+        << hurt.divergence;
+
+    // The corruption is scoped to the hook: clean again afterwards.
+    RunResult after = interp.run("kernel", {KernelArg::ofInt(4)}, opts);
+    EXPECT_EQ(after.divergence, "");
+}
+
+TEST(InterpDiff, DifferentialForwardsReferenceObservables)
+{
+    auto tu = parse(R"(
+        int kernel(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) { acc += i; }
+            return acc;
+        }
+    )");
+    cir::analyzeOrDie(*tu);
+    Interpreter interp(*tu);
+
+    Observation walk = observe(interp, "kernel", {KernelArg::ofInt(5)},
+                               EngineKind::TreeWalk, 100'000);
+    Observation diff = observe(interp, "kernel", {KernelArg::ofInt(5)},
+                               EngineKind::Differential, 100'000);
+
+    EXPECT_TRUE(diff.result.ok);
+    EXPECT_EQ(diff.result.divergence, "");
+    EXPECT_TRUE(diff.result.ret == walk.result.ret);
+    EXPECT_EQ(diff.result.steps, walk.result.steps);
+    EXPECT_EQ(diff.result.cycles, walk.result.cycles);
+    EXPECT_TRUE(diff.coverage == walk.coverage);
+    EXPECT_TRUE(diff.profile == walk.profile);
+    EXPECT_TRUE(diff.loops == walk.loops);
+    ASSERT_EQ(diff.branch_log.events.size(),
+              walk.branch_log.events.size());
+}
+
+// --- engine selection plumbing -------------------------------------------
+
+TEST(InterpDiff, ParseEngineNameRoundTrips)
+{
+    EngineKind kind = EngineKind::TreeWalk;
+    EXPECT_TRUE(parseEngineName("bytecode", &kind));
+    EXPECT_EQ(kind, EngineKind::Bytecode);
+    EXPECT_TRUE(parseEngineName("differential", &kind));
+    EXPECT_EQ(kind, EngineKind::Differential);
+    EXPECT_TRUE(parseEngineName("tree_walk", &kind));
+    EXPECT_EQ(kind, EngineKind::TreeWalk);
+
+    kind = EngineKind::Bytecode;
+    EXPECT_TRUE(parseEngineName("", &kind));
+    EXPECT_EQ(kind, EngineKind::Bytecode) << "empty keeps the value";
+    EXPECT_FALSE(parseEngineName("jit", &kind));
+    EXPECT_EQ(kind, EngineKind::Bytecode) << "unknown keeps the value";
+
+    EXPECT_STREQ(engineName(EngineKind::TreeWalk), "tree_walk");
+    EXPECT_STREQ(engineName(EngineKind::Bytecode), "bytecode");
+    EXPECT_STREQ(engineName(EngineKind::Differential), "differential");
+}
+
+} // namespace
+} // namespace heterogen::interp

@@ -98,7 +98,7 @@ TEST(Memory, PatternBlocksCoercePerField)
     Memory mem;
     int32_t b = mem.allocatePattern(
         2, Type::structType("S"),
-        {Type::fpgaUint(4), Type::intType()});
+        {Type::fpgaUint(4).get(), Type::intType().get()});
     EXPECT_EQ(mem.blockSize(b), 4);
     mem.store({b, 0}, Value::makeInt(20)); // field 0 of elem 0: wraps
     mem.store({b, 2}, Value::makeInt(20)); // field 0 of elem 1: wraps
