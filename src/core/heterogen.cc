@@ -137,15 +137,25 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
         search_opts.engine = engine;
         profile_engine = engine;
     }
+    if (options.eval_pool) {
+        fuzz_opts.pool = options.eval_pool;
+        search_opts.pool = options.eval_pool;
+    }
+    auto stage = [&](const char *name) {
+        if (options.stage_hook)
+            options.stage_hook(name);
+    };
 
     // (1) Test input generation (opens the "fuzz" span).
     if (fuzz_opts.host_function.empty())
         fuzz_opts.host_function = options.host_function;
+    stage("fuzz");
     report.testgen = fuzz::fuzzKernel(ctx, *tu_, options.kernel, sema_,
                                       fuzz_opts);
 
     // (2) Initial HLS version: profile value ranges, estimate types.
     {
+        stage("profile");
         SpanScope profiling(ctx, "profile");
         report.profile = profileUnderSuite(ctx, *tu_, options.kernel,
                                            report.testgen.suite,
@@ -157,6 +167,7 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
                               ? options.kernel
                               : options.initial_top;
     if (options.narrow_bitwidths) {
+        stage("init_hls");
         SpanScope init(ctx, "init_hls");
         repair::RepairContext rctx{*broken, config, "", &report.profile,
                                    nullptr, false};
@@ -165,6 +176,7 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
 
     // (3)-(5) Iterative repair with fitness evaluation (opens the
     // "repair" span).
+    stage("repair");
     report.search = repair::repairSearch(ctx, *tu_, options.kernel,
                                          *broken, config,
                                          report.testgen.suite,

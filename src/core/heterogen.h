@@ -15,6 +15,7 @@
 #ifndef HETEROGEN_CORE_HETEROGEN_H
 #define HETEROGEN_CORE_HETEROGEN_H
 
+#include <functional>
 #include <string>
 
 #include "fuzz/fuzzer.h"
@@ -63,6 +64,21 @@ struct HeteroGenOptions
     fuzz::FuzzOptions fuzz;
     repair::SearchOptions search;
     hls::HlsConfig config;
+    /**
+     * Shared host pool (non-owning) for every parallel leaf of the run
+     * — fuzz batches and difftest fan-out. Overrides fuzz.pool and
+     * search.pool wholesale. The conversion service points every
+     * concurrent job at one bounded pool; with per-batch waits and
+     * thread-invariant results, sharing never changes a report.
+     */
+    WorkerPool *eval_pool = nullptr;
+    /**
+     * Observation hook called by run() as each stage begins ("fuzz",
+     * "profile", "init_hls", "repair"), from the thread driving the
+     * run. Lets a caller report job progress (the service's poll())
+     * without touching the trace. Must not call back into the run.
+     */
+    std::function<void(const std::string &)> stage_hook;
     /**
      * Interpreter engine for every stage ("" = inherit each stage's own
      * default, which honours HETEROGEN_ENGINE). Accepted names:

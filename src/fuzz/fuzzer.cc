@@ -128,7 +128,12 @@ fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
     std::deque<std::vector<KernelArg>> queue;
     queue.push_back(seed);
 
-    WorkerPool pool(options.threads);
+    std::unique_ptr<WorkerPool> owned_pool;
+    WorkerPool *pool = options.pool;
+    if (!pool) {
+        owned_pool = std::make_unique<WorkerPool>(options.threads);
+        pool = owned_pool.get();
+    }
 
     /** Merge new coverage and count the freshly covered edges. */
     auto mergeCoverage = [&](const CoverageMap &local) {
@@ -172,7 +177,7 @@ fuzzKernel(RunContext &ctx, const cir::TranslationUnit &tu,
         std::vector<CoverageMap> locals(
             batch.size(), CoverageMap(result.coverage.numBranches()));
         std::vector<RunResult> runs(batch.size());
-        parallelForEach(&pool, batch.size(), [&](size_t i) {
+        parallelForEach(pool, batch.size(), [&](size_t i) {
             RunOptions opts;
             opts.coverage = &locals[i];
             opts.max_steps = options.max_steps_per_run;

@@ -23,6 +23,10 @@
 #include "interp/interp.h"
 #include "support/run_context.h"
 
+namespace heterogen {
+class WorkerPool;
+}
+
 namespace heterogen::fuzz {
 
 /** Fuzzing-campaign knobs. */
@@ -66,6 +70,13 @@ struct FuzzOptions
      * thread count (tests/test_parallel.cc asserts this).
      */
     int threads = 0;
+    /**
+     * Shared host pool for the execution batches (non-owning; overrides
+     * `threads` when set). Batch waits are per-call, so many concurrent
+     * campaigns — the conversion service's jobs — may share one pool
+     * without changing any campaign's outcome.
+     */
+    WorkerPool *pool = nullptr;
 };
 
 /** Campaign outcome. */

@@ -1,6 +1,7 @@
 #include "repair/memo.h"
 
 #include "cir/printer.h"
+#include "support/run_context.h"
 
 namespace heterogen::repair {
 
@@ -21,15 +22,23 @@ candidateFingerprint(const cir::TranslationUnit &candidate,
     return key;
 }
 
+void
+CandidateMemo::count(int MemoStats::*field, const char *trace_key)
+{
+    stats_.*field += 1;
+    if (ctx_)
+        ctx_->count(trace_key);
+}
+
 std::optional<hls::CompileResult>
 CandidateMemo::findCompile(const std::string &fingerprint)
 {
     auto it = entries_.find(fingerprint);
     if (it != entries_.end() && it->second.compile) {
-        stats_.compile_hits += 1;
+        count(&MemoStats::compile_hits, "search.memo_compile_hits");
         return it->second.compile;
     }
-    stats_.compile_misses += 1;
+    count(&MemoStats::compile_misses, "search.memo_compile_misses");
     return std::nullopt;
 }
 
@@ -45,10 +54,10 @@ CandidateMemo::findDiffTest(const std::string &fingerprint)
 {
     auto it = entries_.find(fingerprint);
     if (it != entries_.end() && it->second.difftest) {
-        stats_.difftest_hits += 1;
+        count(&MemoStats::difftest_hits, "search.memo_difftest_hits");
         return it->second.difftest;
     }
-    stats_.difftest_misses += 1;
+    count(&MemoStats::difftest_misses, "search.memo_difftest_misses");
     return std::nullopt;
 }
 

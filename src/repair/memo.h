@@ -24,6 +24,10 @@
 #include "hls/compiler.h"
 #include "repair/difftest.h"
 
+namespace heterogen {
+class RunContext;
+}
+
 namespace heterogen::repair {
 
 /**
@@ -54,10 +58,25 @@ struct MemoStats
     }
 };
 
-/** Cache of candidate evaluations keyed by candidateFingerprint(). */
+/**
+ * Cache of candidate evaluations keyed by candidateFingerprint().
+ *
+ * Counter ownership: when constructed with a RunContext, every hit and
+ * miss is counted on that context's trace (search.memo_* on the span
+ * open at lookup time) as the single authoritative copy — under the
+ * conversion service many jobs run concurrently, and routing the
+ * counters through the *owning* context keeps each job's stats exact
+ * instead of mingling them in shared state. The local MemoStats mirror
+ * is kept in lockstep for result reporting (SearchResult::memo).
+ */
 class CandidateMemo
 {
   public:
+    CandidateMemo() = default;
+
+    /** Counters additionally land on ctx's trace (search.memo_*). */
+    explicit CandidateMemo(RunContext *ctx) : ctx_(ctx) {}
+
     /**
      * Cached compile outcome for the fingerprint, or nullopt on miss.
      * Counts one hit or miss.
@@ -88,6 +107,11 @@ class CandidateMemo
         std::optional<DiffTestResult> difftest;
     };
 
+    /** Bump stats_ and, when owned, the context's trace counter. */
+    void count(int MemoStats::*field, const char *trace_key);
+
+    /** Owning context; counters route to its trace when non-null. */
+    RunContext *ctx_ = nullptr;
     std::unordered_map<std::string, Entry> entries_;
     MemoStats stats_;
 };

@@ -46,8 +46,15 @@ class Search
            const SearchOptions &options)
         : ctx_(ctx), original_(original), kernel_(kernel), suite_(suite),
           profile_(profile), options_(options), rng_(options.rng_seed),
-          pool_(options.eval_threads)
+          memo_(&ctx)
     {
+        if (options.pool) {
+            pool_ = options.pool;
+        } else {
+            owned_pool_ =
+                std::make_unique<WorkerPool>(options.eval_threads);
+            pool_ = owned_pool_.get();
+        }
         cand_ = broken.clone();
         config_ = config;
     }
@@ -135,14 +142,15 @@ class Search
     compileCandidate()
     {
         if (options_.use_memo) {
+            // The memo owns the hit/miss accounting: it bumps the
+            // search.memo_* counters on ctx_'s trace itself, so each
+            // job's stats stay exact under concurrent service runs.
             fingerprint_ = candidateFingerprint(*cand_, config_);
             if (auto hit = memo_.findCompile(fingerprint_)) {
-                ctx_.count("search.memo_compile_hits");
                 note("compile:memo-" +
                      std::string(hit->ok ? "ok" : "errors"));
                 return *hit;
             }
-            ctx_.count("search.memo_compile_misses");
         }
         hls::HlsToolchain tool(config_);
         hls::CompileResult compiled = tool.compile(ctx_, *cand_);
@@ -164,16 +172,13 @@ class Search
     difftestCandidate()
     {
         if (options_.use_memo) {
-            if (auto hit = memo_.findDiffTest(fingerprint_)) {
-                ctx_.count("search.memo_difftest_hits");
+            if (auto hit = memo_.findDiffTest(fingerprint_))
                 return *hit;
-            }
-            ctx_.count("search.memo_difftest_misses");
         }
         DiffTestOptions dt;
         dt.max_tests = options_.difftest_sample;
         dt.sim_workers = options_.difftest_sim_workers;
-        dt.pool = &pool_;
+        dt.pool = pool_;
         dt.engine = options_.engine;
         DiffTestResult fitness = diffTest(ctx_, original_, kernel_,
                                           *cand_, config_, suite_, dt);
@@ -493,7 +498,9 @@ class Search
     const interp::ValueProfile &profile_;
     SearchOptions options_;
     Rng rng_;
-    WorkerPool pool_;
+    /** Owned only when options_.pool did not supply a shared one. */
+    std::unique_ptr<WorkerPool> owned_pool_;
+    WorkerPool *pool_ = nullptr;
     CandidateMemo memo_;
     /** Fingerprint of cand_ as of the last compileCandidate(). */
     std::string fingerprint_;

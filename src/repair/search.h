@@ -30,6 +30,7 @@
 
 namespace heterogen {
 class RunContext;
+class WorkerPool;
 }
 
 namespace heterogen::repair {
@@ -59,6 +60,14 @@ struct SearchOptions
      * default). Execution detail only — results are thread-invariant.
      */
     int eval_threads = 0;
+    /**
+     * Shared host pool for candidate evaluation (non-owning). When set,
+     * the search submits its leaf work here instead of constructing its
+     * own pool — the conversion service passes one bounded pool to all
+     * concurrent jobs. Waits are per-batch (TaskGroup), and results
+     * stay thread-invariant, so sharing never changes an outcome.
+     */
+    WorkerPool *pool = nullptr;
     /**
      * Memoize candidate evaluations: a candidate whose printed text and
      * config were already compiled or difftested reuses the recorded

@@ -105,6 +105,17 @@ class RunContext
     /** Is any open span (stage or ancestor) over its budget? */
     bool deadlineExceeded() const;
 
+    /**
+     * Budget the whole context: the root span's allowance, checked by
+     * the same deadlineExceeded() every stage already consults. This is
+     * how a caller parents a run under an external allowance (the
+     * conversion service derives it from the owning tenant's remaining
+     * quota) without touching any stage budget — the effective limit of
+     * every stage becomes min(stage budget, ancestors, root).
+     */
+    void setRootBudget(Budget budget);
+    Budget rootBudget() const;
+
     /** Cooperative cancellation, checked between loop iterations. */
     void requestCancel() { cancelled_.store(true); }
     bool cancelled() const { return cancelled_.load(); }

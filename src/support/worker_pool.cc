@@ -86,6 +86,40 @@ WorkerPool::workerLoop()
     }
 }
 
+TaskGroup::~TaskGroup()
+{
+    wait();
+}
+
+void
+TaskGroup::run(std::function<void()> task)
+{
+    if (!pool_ || pool_->threads() <= 1) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        outstanding_ += 1;
+    }
+    pool_->submit([this, task = std::move(task)] {
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            outstanding_ -= 1;
+            if (outstanding_ == 0)
+                done_.notify_all();
+        }
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
 void
 parallelForEach(WorkerPool *pool, size_t n,
                 const std::function<void(size_t)> &fn)
@@ -98,8 +132,9 @@ parallelForEach(WorkerPool *pool, size_t n,
     // Every job runs to completion and the lowest-index exception wins,
     // so reruns at any thread count surface the same error.
     std::vector<std::exception_ptr> errors(n);
+    TaskGroup group(pool);
     for (size_t i = 0; i < n; ++i) {
-        pool->submit([&, i] {
+        group.run([&, i] {
             try {
                 fn(i);
             } catch (...) {
@@ -107,7 +142,7 @@ parallelForEach(WorkerPool *pool, size_t n,
             }
         });
     }
-    pool->wait();
+    group.wait();
     for (size_t i = 0; i < n; ++i) {
         if (errors[i])
             std::rethrow_exception(errors[i]);

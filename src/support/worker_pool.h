@@ -80,11 +80,46 @@ class WorkerPool
 };
 
 /**
+ * A batch of tasks on a shared pool with its own completion tracking.
+ *
+ * WorkerPool::wait() waits for *every* in-flight job, which couples
+ * unrelated producers: two stages sharing one pool would each block on
+ * the other's work. A TaskGroup counts only its own tasks, so many
+ * concurrent producers (e.g. the conversion service's jobs) can share
+ * one bounded pool and still wait independently. With a null pool (or
+ * a single-threaded one) tasks run inline on the calling thread.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(WorkerPool *pool) : pool_(pool) {}
+    /** Waits for any still-outstanding tasks. */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Run one task on the pool (inline when the pool cannot help). */
+    void run(std::function<void()> task);
+
+    /** Block until every task run() by *this group* has finished. */
+    void wait();
+
+  private:
+    WorkerPool *pool_;
+    std::mutex mu_;
+    std::condition_variable done_;
+    size_t outstanding_ = 0;
+};
+
+/**
  * Run fn(0) .. fn(n-1) across the pool and wait for completion.
  *
  * fn must confine its writes to per-index state; the first exception
  * (lowest index) is rethrown on the calling thread after all jobs
- * finish. With a null pool, runs serially inline.
+ * finish. With a null pool, runs serially inline. Waiting is per-call
+ * (a TaskGroup), so concurrent parallelForEach calls may safely share
+ * one pool.
  */
 void parallelForEach(WorkerPool *pool, size_t n,
                      const std::function<void(size_t)> &fn);
