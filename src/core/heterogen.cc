@@ -48,6 +48,12 @@ validateOptions(const HeteroGenOptions &options)
     if (!interp::parseEngineName(options.engine, &parsed_engine))
         fatal("HeteroGen: unknown engine '", options.engine,
               "' (expected tree_walk, bytecode or differential)");
+    if (!repair::parseProposerName(options.proposer))
+        fatal("HeteroGen: unknown proposer '", options.proposer,
+              "' (expected template, corpus or mixed)");
+    if (!repair::parseProposerName(options.search.proposer))
+        fatal("HeteroGen: unknown proposer '", options.search.proposer,
+              "' (expected template, corpus or mixed)");
     for (const FaultRule &rule : options.faults.rules) {
         if (rule.probability < 0 || rule.probability > 1)
             fatal("HeteroGen: fault probability for '", rule.site,
@@ -137,6 +143,9 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
         search_opts.engine = engine;
         profile_engine = engine;
     }
+    // Resolve the pipeline-wide proposer override (validated above).
+    if (!options.proposer.empty())
+        search_opts.proposer = options.proposer;
     if (options.eval_pool) {
         fuzz_opts.pool = options.eval_pool;
         search_opts.pool = options.eval_pool;

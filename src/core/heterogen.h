@@ -87,6 +87,14 @@ struct HeteroGenOptions
      * fuzz/search/profiling engines wholesale.
      */
     std::string engine;
+    /**
+     * Candidate proposer for the repair search ("" = inherit
+     * search.proposer, which honours HETEROGEN_PROPOSER). Accepted
+     * names: "template", "corpus", "mixed"; anything else is rejected
+     * by validateOptions. A non-empty value overrides search.proposer
+     * wholesale.
+     */
+    std::string proposer;
 };
 
 /**

@@ -1,0 +1,421 @@
+/** @file Mining whole-construct rewrites from the checked-in corpus
+ * (manual HLS ports + the Figure-3 forum posts) and the proposer that
+ * retrieves them by localized error category. */
+
+#include "repair/corpus.h"
+
+#include <algorithm>
+#include <map>
+
+#include "repair/localizer.h"
+#include "subjects/forum_corpus.h"
+#include "subjects/subjects.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace heterogen::repair {
+
+using hls::ErrorCategory;
+
+namespace {
+
+/** Posts mined for the process-wide corpus — the Figure-3 study size
+ * and seed, so the index matches the numbers EXPERIMENTS.md reports. */
+constexpr int kForumPosts = 1000;
+constexpr uint64_t kForumSeed = 2022;
+
+/** A corpus recipe retires after this many failed matches. */
+constexpr int kMaxRecipeNoops = 3;
+
+/**
+ * The miner's catalogue: every rewrite the corpus COULD teach. Mining
+ * decides which entries survive (support > 0) and how they rank. Edit
+ * chains are authored dependence-ordered — a CHECK at mine time
+ * verifies each entry against the registry so the catalogue cannot
+ * drift from Table 2.
+ */
+struct CatalogueEntry
+{
+    const char *id;
+    ErrorCategory category;
+    bool performance;
+    std::vector<const char *> edits;
+    /** Case-insensitive needles matched against a post's error text. */
+    std::vector<const char *> post_keywords;
+};
+
+const std::vector<CatalogueEntry> &
+catalogue()
+{
+    const auto Dyn = ErrorCategory::DynamicDataStructures;
+    const auto Types = ErrorCategory::UnsupportedDataTypes;
+    const auto Flow = ErrorCategory::DataflowOptimization;
+    const auto Loop = ErrorCategory::LoopParallelization;
+    const auto Struct = ErrorCategory::StructAndUnion;
+    const auto Top = ErrorCategory::TopFunction;
+
+    static const std::vector<CatalogueEntry> entries = {
+        // --- dynamic data structures ---------------------------------
+        {"arena_rewrite", Dyn, false,
+         {"insert($a1:arr,$d1:dyn)", "pointer($v1:ptr)"},
+         {"malloc", "dynamic memory"}},
+        {"stack_machine", Dyn, false,
+         {"insert($a1:arr,$d1:dyn)", "pointer($v1:ptr)",
+          "stack_trans($d1:dyn)"},
+         {"recursive"}},
+        {"static_array", Dyn, false,
+         {"array_static($a1:arr,$i1:int)"},
+         {"unknown size", "at run time"}},
+        // --- unsupported data types ----------------------------------
+        {"float_rewrite", Types, false,
+         {"type_trans($v1:var)", "type_casting($v1:var)"},
+         {"long double", "type casting", "type conversion"}},
+        {"overload_rewrite", Types, false,
+         {"type_trans($v1:var)", "type_casting($v1:var)",
+          "op_overload($v1:var)"},
+         {"overload", "ambiguous"}},
+        {"pointer_rewrite", Types, false,
+         {"insert($a1:arr,$d1:dyn)", "pointer($v1:ptr)"},
+         {"pointer"}},
+        // --- dataflow optimization -----------------------------------
+        {"partition_factor", Flow, false,
+         {"explore_partition($p1:pragma,$a1:arr)"},
+         {"partition"}},
+        {"buffer_copy", Flow, false,
+         {"segment($a1:arr)"},
+         {"failed dataflow checking"}},
+        {"dataflow_delete", Flow, false,
+         {"delete($p1:pragma,$f1:func)"},
+         {"dataflow"}},
+        {"dataflow_move", Flow, false,
+         {"move($p1:pragma,$f1:func)"},
+         {"dataflow region"}},
+        // --- loop parallelization ------------------------------------
+        {"unroll_factor", Loop, false,
+         {"explore_unroll($p1:pragma,$l1:loop)"},
+         {"unroll"}},
+        {"tripcount_bound", Loop, false,
+         {"index_static($l1:loop)"},
+         {"trip count", "trip_count"}},
+        // --- struct and union ----------------------------------------
+        {"ctor_stream", Struct, false,
+         {"constructor($s1:struct)",
+          "stream_static($f1:stream,$s1:struct)"},
+         {"constructor", "stream"}},
+        {"method_flatten", Struct, false,
+         {"flatten($s1:struct)", "inst_update($s1:struct)"},
+         {"struct"}},
+        {"union_to_struct", Struct, false,
+         {"union_flatten($s1:struct)"},
+         {"union"}},
+        // --- top function --------------------------------------------
+        {"top_rename", Top, false,
+         {"top_name($f1:func)"},
+         {"top function", "find the top"}},
+        {"clock_fix", Top, false, {"top_clock()"}, {"clock"}},
+        {"device_fix", Top, false, {"top_device()"}, {"device"}},
+        {"interface_fix", Top, false,
+         {"interface($p1:pragma)"},
+         {"interface"}},
+        // --- performance (mined from the manual ports' pragmas) ------
+        {"perf_pipeline", Loop, true,
+         {"pipeline($l1:loop)"},
+         {"pipeline"}},
+        {"perf_unroll", Loop, true,
+         {"pipeline($l1:loop)", "unroll($l1:loop)"},
+         {"unroll factor"}},
+        {"perf_partition", Loop, true,
+         {"pipeline($l1:loop)", "unroll($l1:loop)", "partition($a1:arr)"},
+         {"array_partition"}},
+        {"perf_dataflow", Flow, true,
+         {"pipeline($l1:loop)", "dataflow($f1:func)"},
+         {"dataflow"}},
+    };
+    return entries;
+}
+
+/** Names the pragma each performance recipe corresponds to in a
+ * hand-written port, for port-pair evidence. */
+const char *
+portPragmaFor(const std::string &id)
+{
+    if (id == "perf_pipeline")
+        return "#pragma HLS pipeline";
+    if (id == "perf_unroll")
+        return "#pragma HLS unroll";
+    if (id == "perf_partition")
+        return "#pragma HLS array_partition";
+    if (id == "perf_dataflow")
+        return "#pragma HLS dataflow";
+    return nullptr;
+}
+
+/**
+ * Does an (original, rewritten) port pair evidence this recipe? The
+ * miner looks for the construct the expert removed or the repair they
+ * introduced — the whole-program diff an LLM fine-tune would train on,
+ * reduced to its deterministic essence.
+ */
+bool
+portEvidences(const CatalogueEntry &entry, const std::string &original,
+              const std::string &rewritten)
+{
+    if (rewritten.empty())
+        return false;
+    const std::string &id_str = entry.id;
+    if (const char *pragma = portPragmaFor(id_str))
+        return contains(rewritten, pragma) && !contains(original, pragma);
+    if (id_str == "arena_rewrite" || id_str == "stack_machine" ||
+        id_str == "pointer_rewrite") {
+        return contains(original, "malloc") &&
+               !contains(rewritten, "malloc");
+    }
+    if (id_str == "float_rewrite" || id_str == "overload_rewrite") {
+        return contains(original, "long double") &&
+               (contains(rewritten, "fpga_float") ||
+                contains(rewritten, "fpga_fixed"));
+    }
+    if (id_str == "tripcount_bound")
+        return contains(rewritten, "loop_tripcount") &&
+               !contains(original, "loop_tripcount");
+    if (id_str == "method_flatten" || id_str == "union_to_struct")
+        return (contains(original, "struct") ||
+                contains(original, "union")) &&
+               contains(rewritten, "#pragma HLS");
+    return false;
+}
+
+/** Does a forum post (error text + quoted snippet) evidence this
+ * recipe? The error must classify into the recipe's category and the
+ * text must carry one of its keywords. */
+bool
+postEvidences(const CatalogueEntry &entry, const std::string &message,
+              const std::string &snippet)
+{
+    std::optional<ErrorCategory> category = classifyMessage(message);
+    if (!category || *category != entry.category)
+        return false;
+    for (const char *keyword : entry.post_keywords) {
+        if (containsIgnoreCase(message, keyword) ||
+            containsIgnoreCase(snippet, keyword))
+            return true;
+    }
+    return false;
+}
+
+/** Verify a catalogue chain is registered and dependence-ordered. */
+void
+checkChain(const CatalogueEntry &entry)
+{
+    const EditRegistry &registry = EditRegistry::instance();
+    std::set<std::string> earlier;
+    for (const char *name : entry.edits) {
+        const EditTemplate *t = registry.find(name);
+        if (!t)
+            fatal("rewrite corpus: recipe '", entry.id,
+                  "' names unknown edit template '", name, "'");
+        for (const std::string &dep : t->requires_edits) {
+            if (!earlier.count(dep))
+                fatal("rewrite corpus: recipe '", entry.id,
+                      "' applies '", name, "' before its dependence '",
+                      dep, "'");
+        }
+        earlier.insert(name);
+    }
+}
+
+bool
+rankBefore(const RewriteRecipe &a, const RewriteRecipe &b)
+{
+    if (a.support != b.support)
+        return a.support > b.support;
+    return a.id < b.id;
+}
+
+} // namespace
+
+RewriteCorpus
+RewriteCorpus::mine(
+    const std::vector<std::pair<std::string, std::string>> &port_pairs,
+    const std::vector<std::pair<std::string, std::string>> &posts,
+    const std::vector<std::string> &doc_ids)
+{
+    RewriteCorpus corpus;
+    corpus.documents_ = int(port_pairs.size() + posts.size());
+
+    std::vector<RewriteRecipe> mined;
+    for (const CatalogueEntry &entry : catalogue()) {
+        checkChain(entry);
+        RewriteRecipe recipe;
+        recipe.id = entry.id;
+        recipe.category = entry.category;
+        recipe.performance = entry.performance;
+        for (const char *name : entry.edits)
+            recipe.edits.push_back(name);
+
+        size_t doc = 0;
+        auto docId = [&](const char *kind, size_t index) {
+            return doc < doc_ids.size()
+                       ? doc_ids[doc]
+                       : std::string(kind) + ":" + std::to_string(index);
+        };
+        for (size_t i = 0; i < port_pairs.size(); ++i, ++doc) {
+            if (!portEvidences(entry, port_pairs[i].first,
+                               port_pairs[i].second))
+                continue;
+            recipe.support += 1;
+            if (recipe.examples.size() < 3)
+                recipe.examples.push_back(docId("port", i));
+        }
+        for (size_t i = 0; i < posts.size(); ++i, ++doc) {
+            if (!postEvidences(entry, posts[i].first, posts[i].second))
+                continue;
+            recipe.support += 1;
+            if (recipe.examples.size() < 3)
+                recipe.examples.push_back(docId("forum", i));
+        }
+        if (recipe.support > 0)
+            mined.push_back(std::move(recipe));
+    }
+
+    for (RewriteRecipe &recipe : mined) {
+        auto &bucket =
+            recipe.performance
+                ? corpus.performance_
+                : corpus.by_category_[int(recipe.category)];
+        bucket.push_back(std::move(recipe));
+    }
+    for (auto &bucket : corpus.by_category_)
+        std::sort(bucket.begin(), bucket.end(), rankBefore);
+    std::sort(corpus.performance_.begin(), corpus.performance_.end(),
+              rankBefore);
+    return corpus;
+}
+
+const RewriteCorpus &
+RewriteCorpus::instance()
+{
+    static const RewriteCorpus corpus = [] {
+        std::vector<std::pair<std::string, std::string>> ports;
+        std::vector<std::string> ids;
+        for (const subjects::Subject &s : subjects::allSubjects()) {
+            ports.push_back({s.source, s.manual_source});
+            ids.push_back(s.id + ":manual");
+        }
+        std::vector<std::pair<std::string, std::string>> posts;
+        for (const subjects::ForumPost &post :
+             subjects::generateForumCorpus(kForumPosts, kForumSeed)) {
+            posts.push_back({post.message, post.snippet});
+            ids.push_back("forum:" + std::to_string(post.post_id));
+        }
+        return mine(ports, posts, ids);
+    }();
+    return corpus;
+}
+
+const std::vector<RewriteRecipe> &
+RewriteCorpus::recipesFor(ErrorCategory category) const
+{
+    return by_category_[int(category)];
+}
+
+const std::vector<RewriteRecipe> &
+RewriteCorpus::performanceRecipes() const
+{
+    return performance_;
+}
+
+std::vector<const RewriteRecipe *>
+RewriteCorpus::all() const
+{
+    std::vector<const RewriteRecipe *> out;
+    for (const auto &bucket : by_category_)
+        for (const RewriteRecipe &recipe : bucket)
+            out.push_back(&recipe);
+    for (const RewriteRecipe &recipe : performance_)
+        out.push_back(&recipe);
+    return out;
+}
+
+namespace {
+
+/** The retrieval-only proposer: one mined whole-construct rewrite per
+ * request, best-supported first, retiring recipes the search keeps
+ * rejecting. Deterministic — it never touches request.rng. */
+class CorpusProposer : public CandidateProposer
+{
+  public:
+    CorpusProposer(ProposerConfig config, const RewriteCorpus &corpus)
+        : config_(std::move(config)), corpus_(corpus)
+    {
+    }
+
+    std::string name() const override { return "corpus"; }
+
+    Proposal
+    propose(const ProposalRequest &request) override
+    {
+        const std::vector<RewriteRecipe> &recipes =
+            request.phase == ProposalPhase::Performance
+                ? corpus_.performanceRecipes()
+                : corpus_.recipesFor(request.category);
+        Proposal out;
+        const EditRegistry &registry = EditRegistry::instance();
+        for (const RewriteRecipe &recipe : recipes) {
+            std::string label = "corpus:" + recipe.id;
+            if (banned_.count(label))
+                continue;
+            auto it = noop_counts_.find(label);
+            if (it != noop_counts_.end() && it->second >= kMaxRecipeNoops)
+                continue;
+            std::vector<const EditTemplate *> edits;
+            for (const std::string &name : recipe.edits) {
+                if (request.applied->count(name))
+                    continue;
+                if (!config_.allowed_edits.empty() &&
+                    !config_.allowed_edits.count(name))
+                    continue;
+                edits.push_back(registry.find(name));
+            }
+            if (edits.empty())
+                continue; // the corpus taught nothing new here
+            out.candidates.push_back({std::move(label), std::move(edits),
+                                      {}});
+            break; // one whole-construct rewrite per attempt
+        }
+        return out;
+    }
+
+    void
+    observe(const AttemptFeedback &feedback) override
+    {
+        switch (feedback.outcome) {
+          case AttemptOutcome::Noop:
+            noop_counts_[feedback.label] += 1;
+            break;
+          case AttemptOutcome::Invalid:
+          case AttemptOutcome::Reverted:
+            banned_.insert(feedback.label);
+            break;
+          case AttemptOutcome::Applied:
+            break;
+        }
+    }
+
+  private:
+    ProposerConfig config_;
+    const RewriteCorpus &corpus_;
+    std::set<std::string> banned_;
+    std::map<std::string, int> noop_counts_;
+};
+
+} // namespace
+
+std::unique_ptr<CandidateProposer>
+makeCorpusProposer(const ProposerConfig &config,
+                   const RewriteCorpus &corpus)
+{
+    return std::make_unique<CorpusProposer>(config, corpus);
+}
+
+} // namespace heterogen::repair

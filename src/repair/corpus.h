@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Corpus-mined rewrite proposals: a simulated LLM for the repair loop.
+ *
+ * In the same spirit that src/hls/ simulates Vivado, the rewrite corpus
+ * simulates the retrieval side of an LLM repair agent. Its "training
+ * data" is checked into the repository: the hand-written manual HLS
+ * ports of P1-P10 (what an expert actually rewrote) and the synthetic
+ * Xilinx-forum corpus (what errors co-occur with which constructs, at
+ * the paper's Figure-3 mix). Mining is a one-time, fully deterministic
+ * pass: each known rewrite recipe gains support for every corpus
+ * document that evidences it, recipes with no evidence are dropped, and
+ * retrieval returns the surviving recipes for a localized error
+ * category ranked by support. No randomness, no ambient state — the
+ * same binary always mines the same corpus and proposes the same
+ * rewrites, which is what lets the proposer race in bench/fig9_ablation
+ * replay exactly.
+ */
+
+#ifndef HETEROGEN_REPAIR_CORPUS_H
+#define HETEROGEN_REPAIR_CORPUS_H
+
+#include "repair/proposer.h"
+
+namespace heterogen::repair {
+
+/**
+ * One mined whole-construct rewrite: an ordered chain of edit-template
+ * names whose internal dependences are satisfied left to right, so the
+ * chain can be applied as a unit without consulting the dependence
+ * graph (the miner rejects catalogue entries violating this).
+ */
+struct RewriteRecipe
+{
+    /** Stable identifier; proposals are labeled "corpus:<id>". */
+    std::string id;
+    /** Localizer category this rewrite answers. */
+    hls::ErrorCategory category =
+        hls::ErrorCategory::DynamicDataStructures;
+    /** True for pragma-exploration rewrites proposed after success. */
+    bool performance = false;
+    /** Dependence-ordered template names (EditRegistry keys). */
+    std::vector<std::string> edits;
+    /** Corpus documents evidencing the recipe (mining support). */
+    int support = 0;
+    /** A few example document ids ("P3:manual", "forum:412"). */
+    std::vector<std::string> examples;
+};
+
+/** The mined recipe index. */
+class RewriteCorpus
+{
+  public:
+    /**
+     * The corpus mined from the checked-in subjects (manual ports) and
+     * the 1000-post Figure-3 forum corpus. Built once per process;
+     * deterministic by construction.
+     */
+    static const RewriteCorpus &instance();
+
+    /** Mine a corpus from explicit documents (tests use small sets). */
+    static RewriteCorpus
+    mine(const std::vector<std::pair<std::string, std::string>>
+             &port_pairs, ///< (original, rewritten) source pairs
+         const std::vector<std::pair<std::string, std::string>>
+             &posts, ///< (error message, quoted snippet) pairs
+         const std::vector<std::string> &doc_ids = {});
+
+    /** Repair recipes for a category, ranked by support then id. */
+    const std::vector<RewriteRecipe> &
+    recipesFor(hls::ErrorCategory category) const;
+
+    /** Performance recipes, ranked by support then id. */
+    const std::vector<RewriteRecipe> &performanceRecipes() const;
+
+    /** Every surviving recipe (diagnostics, docs, tests). */
+    std::vector<const RewriteRecipe *> all() const;
+
+    /** Total mined documents (ports + posts). */
+    int documents() const { return documents_; }
+
+  private:
+    std::vector<RewriteRecipe> by_category_[hls::kNumErrorCategories];
+    std::vector<RewriteRecipe> performance_;
+    int documents_ = 0;
+};
+
+/**
+ * The corpus-backed proposer: retrieves the best surviving recipe for
+ * the request's category (or the performance index) and proposes it as
+ * one whole-construct rewrite. Reacts to feedback by retiring recipes
+ * that keep failing: three noops, or a single invalid/reverted
+ * outcome, remove a recipe from future retrieval.
+ */
+std::unique_ptr<CandidateProposer>
+makeCorpusProposer(const ProposerConfig &config,
+                   const RewriteCorpus &corpus = RewriteCorpus::instance());
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_CORPUS_H

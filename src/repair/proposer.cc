@@ -1,0 +1,253 @@
+/** @file The built-in candidate proposers: Table-2 template enumeration
+ * (the paper's §5.3 search, re-expressed behind the seam), and the
+ * round-robin mix of template and corpus proposals. */
+
+#include "repair/proposer.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "repair/corpus.h"
+#include "support/diagnostics.h"
+
+namespace heterogen::repair {
+
+namespace {
+
+/** Guided mode sets a template aside after this many failed matches so
+ * a deterministic front-of-pool no-op cannot stall the search (the
+ * random baseline keeps drawing them — wasted attempts are exactly
+ * what it pays for lacking guidance). */
+constexpr int kMaxNoops = 3;
+
+/**
+ * The paper's search strategy as a proposer: dependence-ordered
+ * enumeration of the Table-2 edit templates (or the WithoutDependence
+ * random draw), one single-edit candidate per repair request, and the
+ * one-pass batch of dependence-ready pragma templates per performance
+ * request. Byte-identical to the pre-seam search — the golden-trace
+ * tests pin this.
+ */
+class TemplateProposer : public CandidateProposer
+{
+  public:
+    explicit TemplateProposer(ProposerConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    std::string name() const override { return "template"; }
+
+    Proposal
+    propose(const ProposalRequest &request) override
+    {
+        return request.phase == ProposalPhase::Performance
+                   ? proposePerformance(request)
+                   : proposeRepair(request);
+    }
+
+    void
+    observe(const AttemptFeedback &feedback) override
+    {
+        switch (feedback.outcome) {
+          case AttemptOutcome::Noop:
+            noop_counts_[feedback.label] += 1;
+            break;
+          case AttemptOutcome::Invalid:
+          case AttemptOutcome::Reverted:
+            banned_.insert(feedback.label);
+            break;
+          case AttemptOutcome::Applied:
+            break;
+        }
+    }
+
+  private:
+    bool
+    allowed(const EditTemplate &t) const
+    {
+        if (!config_.allowed_edits.empty() &&
+            !config_.allowed_edits.count(t.name)) {
+            return false;
+        }
+        if (banned_.count(t.name))
+            return false;
+        if (config_.use_dependence) {
+            auto it = noop_counts_.find(t.name);
+            return it == noop_counts_.end() || it->second < kMaxNoops;
+        }
+        return true;
+    }
+
+    Proposal
+    proposeRepair(const ProposalRequest &request)
+    {
+        Proposal out;
+        const EditRegistry &registry = EditRegistry::instance();
+        std::vector<const EditTemplate *> pool;
+        if (config_.use_dependence) {
+            for (const EditTemplate *t :
+                 registry.applicable(request.category, *request.applied)) {
+                if (allowed(*t))
+                    pool.push_back(t);
+            }
+        } else {
+            // Unguided baseline: any not-yet-applied template from any
+            // category, in random order with random parameters — the
+            // paper's WithoutDependence behaviour.
+            for (const EditTemplate &t : registry.all()) {
+                if (!request.applied->count(t.name) && allowed(t))
+                    pool.push_back(&t);
+            }
+        }
+        if (pool.empty())
+            return out;
+        const EditTemplate *chosen =
+            config_.use_dependence ? pool.front()
+                                   : pool[request.rng->pickIndex(pool)];
+        out.candidates.push_back({chosen->name, {chosen}, {}});
+        return out;
+    }
+
+    /**
+     * Guided mode proposes every dependence-ready performance template
+     * in one batch (one toolchain invocation validates them together);
+     * dependences are carried on the candidates so templates enabled
+     * by earlier entries of the same batch still sequence correctly.
+     * The random baseline proposes one random pick per request, paying
+     * a compile for each guess.
+     */
+    Proposal
+    proposePerformance(const ProposalRequest &request)
+    {
+        Proposal out;
+        const EditRegistry &registry = EditRegistry::instance();
+        if (!config_.use_dependence) {
+            std::vector<const EditTemplate *> pool;
+            for (const EditTemplate &t : registry.all()) {
+                if (t.performance_improving &&
+                    !request.applied->count(t.name) && allowed(t)) {
+                    pool.push_back(&t);
+                }
+            }
+            if (pool.empty())
+                return out;
+            const EditTemplate *chosen =
+                pool[request.rng->pickIndex(pool)];
+            out.candidates.push_back({chosen->name, {chosen}, {}});
+            out.progress_on_attempt = true;
+            return out;
+        }
+        for (const EditTemplate &t : registry.all()) {
+            if (!t.performance_improving ||
+                request.applied->count(t.name) || !allowed(t)) {
+                continue;
+            }
+            out.candidates.push_back(
+                {t.name, {&t}, t.requires_edits});
+        }
+        return out;
+    }
+
+    ProposerConfig config_;
+    std::set<std::string> banned_;
+    std::map<std::string, int> noop_counts_;
+};
+
+/**
+ * Round-robin race of template enumeration and corpus retrieval: odd
+ * requests ask the corpus first, even requests the templates, and an
+ * empty answer falls through to the other side. Feedback fans out to
+ * both so each keeps its own retire/ban state consistent.
+ */
+class MixedProposer : public CandidateProposer
+{
+  public:
+    explicit MixedProposer(const ProposerConfig &config)
+        : template_(std::make_unique<TemplateProposer>(config)),
+          corpus_(makeCorpusProposer(config))
+    {
+    }
+
+    std::string name() const override { return "mixed"; }
+
+    Proposal
+    propose(const ProposalRequest &request) override
+    {
+        CandidateProposer *first = template_.get();
+        CandidateProposer *second = corpus_.get();
+        if (calls_++ % 2 == 1)
+            std::swap(first, second);
+        Proposal out = first->propose(request);
+        if (out.candidates.empty())
+            out = second->propose(request);
+        return out;
+    }
+
+    void
+    observe(const AttemptFeedback &feedback) override
+    {
+        template_->observe(feedback);
+        corpus_->observe(feedback);
+    }
+
+  private:
+    std::unique_ptr<CandidateProposer> template_;
+    std::unique_ptr<CandidateProposer> corpus_;
+    uint64_t calls_ = 0;
+};
+
+} // namespace
+
+const std::vector<std::string> &
+proposerNames()
+{
+    static const std::vector<std::string> names = {"template", "corpus",
+                                                   "mixed"};
+    return names;
+}
+
+bool
+parseProposerName(const std::string &name, std::string *canonical)
+{
+    if (name.empty()) {
+        if (canonical)
+            *canonical = "template";
+        return true;
+    }
+    for (const std::string &known : proposerNames()) {
+        if (name == known) {
+            if (canonical)
+                *canonical = known;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+defaultProposerName()
+{
+    if (const char *env = std::getenv("HETEROGEN_PROPOSER")) {
+        std::string canonical;
+        if (parseProposerName(env, &canonical))
+            return canonical; // unknown names keep the default
+    }
+    return "template";
+}
+
+std::unique_ptr<CandidateProposer>
+makeProposer(const std::string &name, const ProposerConfig &config)
+{
+    std::string canonical;
+    if (!parseProposerName(name, &canonical))
+        fatal("repair: unknown proposer '", name,
+              "' (expected template, corpus or mixed)");
+    if (canonical == "template")
+        return std::make_unique<TemplateProposer>(config);
+    if (canonical == "corpus")
+        return makeCorpusProposer(config);
+    return std::make_unique<MixedProposer>(config);
+}
+
+} // namespace heterogen::repair

@@ -6,6 +6,7 @@
 #include "repair/difftest.h"
 #include "repair/localizer.h"
 #include "repair/memo.h"
+#include "repair/proposer.h"
 #include "repair/transforms.h"
 #include "stylecheck/stylecheck.h"
 #include "support/diagnostics.h"
@@ -55,6 +56,11 @@ class Search
                 std::make_unique<WorkerPool>(options.eval_threads);
             pool_ = owned_pool_.get();
         }
+        ProposerConfig pconfig;
+        pconfig.use_dependence = options.use_dependence;
+        pconfig.allowed_edits = options.allowed_edits;
+        proposer_ = makeProposer(options.proposer, pconfig);
+        result_.proposer = proposer_->name();
         cand_ = broken.clone();
         config_ = config;
     }
@@ -206,103 +212,101 @@ class Search
         ErrorCategory category =
             loc ? loc->category : ErrorCategory::DynamicDataStructures;
         std::string symbol = loc ? loc->symbol : "";
-        if (!tryEdit(category, symbol)) {
+        if (!proposeRepair(category, symbol)) {
             if (!backtrack())
                 dead_end_ = true;
         }
         return false;
     }
 
-    // --- edit selection ----------------------------------------------------------
+    // --- candidate proposal & application ----------------------------------
 
+    /**
+     * Ask the proposer for repair candidates and attempt every one of
+     * them; true if an attempt was made. Feedback (applied / noop /
+     * invalid) goes straight back through observe() so the proposer can
+     * steer away from rewrites the judge keeps rejecting.
+     */
     bool
-    allowed(const EditTemplate &t) const
+    proposeRepair(ErrorCategory category, const std::string &symbol)
     {
-        if (!options_.allowed_edits.empty() &&
-            !options_.allowed_edits.count(t.name)) {
+        ProposalRequest request;
+        request.phase = ProposalPhase::Repair;
+        request.category = category;
+        request.symbol = symbol;
+        request.applied = &applied_;
+        request.rng = &rng_;
+        ctx_.count("search.proposer.calls");
+        Proposal proposal = proposer_->propose(request);
+        if (proposal.candidates.empty()) {
+            ctx_.count("search.proposer.empty");
             return false;
         }
-        if (banned_.count(t.name))
-            return false;
-        // In guided mode, templates that repeatedly failed to match are
-        // set aside so a deterministic front-of-pool no-op cannot stall
-        // the search. The random baseline keeps drawing them — wasted
-        // attempts are exactly what it pays for lacking guidance.
-        if (options_.use_dependence) {
-            auto it = noop_counts_.find(t.name);
-            return it == noop_counts_.end() || it->second < 3;
+        bool attempted = false;
+        for (const ProposedCandidate &candidate : proposal.candidates) {
+            ctx_.count("search.proposer.candidates");
+            AttemptOutcome outcome = applyCandidate(candidate, symbol);
+            proposer_->observe({candidate.label, outcome});
+            attempted = true;
         }
-        return true;
+        return attempted;
     }
 
-    /** Attempt one edit for the category; true if an attempt was made. */
-    bool
-    tryEdit(ErrorCategory category, const std::string &symbol)
-    {
-        const EditRegistry &registry = EditRegistry::instance();
-        std::vector<const EditTemplate *> pool;
-        if (options_.use_dependence) {
-            for (const EditTemplate *t :
-                 registry.applicable(category, applied_)) {
-                if (allowed(*t))
-                    pool.push_back(t);
-            }
-        } else {
-            // Unguided baseline: any not-yet-applied template from any
-            // category, in random order with random parameters — the
-            // paper's WithoutDependence behaviour.
-            for (const EditTemplate &t : registry.all()) {
-                if (!applied_.count(t.name) && allowed(t))
-                    pool.push_back(&t);
-            }
-        }
-        if (pool.empty())
-            return false;
-        const EditTemplate *chosen =
-            options_.use_dependence ? pool.front()
-                                    : pool[rng_.pickIndex(pool)];
-        return applyEdit(*chosen, symbol);
-    }
-
-    bool
-    applyEdit(const EditTemplate &t, const std::string &symbol)
+    /**
+     * Apply one proposed candidate — a single template or a
+     * whole-construct bundle — as an atomic unit under one backtracking
+     * snapshot. The simulated clock is charged kEditMinutes per edit
+     * concretized, exactly as the pre-seam search did.
+     */
+    AttemptOutcome
+    applyCandidate(const ProposedCandidate &candidate,
+                   const std::string &symbol)
     {
         Snapshot snap;
         snap.tu = cand_->clone();
         snap.config = config_;
         snap.applied = applied_;
-        snap.edit_about_to_apply = t.name;
+        snap.edit_about_to_apply = candidate.label;
 
-        RepairContext ctx{*cand_, config_, symbol, &profile_, &rng_,
-                          !options_.use_dependence};
-        bool changed = t.apply(ctx);
-        ctx_.charge(kEditMinutes);
-        if (!changed) {
-            noop_counts_[t.name] += 1;
+        int changed = 0;
+        for (const EditTemplate *t : candidate.edits) {
+            if (applied_.count(t->name))
+                continue;
+            RepairContext rctx{*cand_, config_, symbol, &profile_, &rng_,
+                               !options_.use_dependence};
+            bool did = t->apply(rctx);
+            ctx_.charge(kEditMinutes);
+            if (!did)
+                continue;
+            // Re-analyze: transforms introduce fresh nodes that need
+            // unique ids (loop profiling keys on them) and this
+            // validates the edit produced a well-formed program.
+            cir::SemaResult sema = cir::analyze(*cand_);
+            if (!sema.ok()) {
+                cand_ = std::move(snap.tu);
+                config_ = snap.config;
+                applied_ = std::move(snap.applied);
+                ctx_.count("search.invalid_edits");
+                note("invalid-edit:" + candidate.label);
+                return AttemptOutcome::Invalid;
+            }
+            changed += 1;
+            applied_.insert(t->name);
+            ctx_.count("search.edits_applied");
+        }
+        if (changed == 0) {
             ctx_.count("search.noop_edits");
-            note("noop:" + t.name);
-            return true; // an attempt was made (and wasted)
+            note("noop:" + candidate.label);
+            return AttemptOutcome::Noop;
         }
-        // Re-analyze: transforms introduce fresh nodes that need unique
-        // ids (loop profiling keys on them) and this validates the edit
-        // produced a well-formed program.
-        cir::SemaResult sema = cir::analyze(*cand_);
-        if (!sema.ok()) {
-            cand_ = std::move(snap.tu);
-            config_ = snap.config;
-            banned_.insert(t.name);
-            ctx_.count("search.invalid_edits");
-            note("invalid-edit:" + t.name);
-            return true;
-        }
-        ctx_.count("search.edits_applied");
-        note("edit:" + t.name);
-        applied_.insert(t.name);
-        result_.applied_order.push_back(t.name);
+        if (candidate.edits.size() > 1)
+            ctx_.count("search.proposer.rewrites");
+        note("edit:" + candidate.label);
+        result_.applied_order.push_back(candidate.label);
         snapshots_.push_back(std::move(snap));
         if (snapshots_.size() > kMaxSnapshots)
             snapshots_.erase(snapshots_.begin());
-        return true;
+        return AttemptOutcome::Applied;
     }
 
     // --- repair / fitness phases ------------------------------------------------------
@@ -312,7 +316,7 @@ class Search
     {
         for (const hls::HlsError &error : errors) {
             RepairLocation loc = localize(error);
-            if (tryEdit(loc.category, loc.symbol))
+            if (proposeRepair(loc.category, loc.symbol))
                 return true;
         }
         return false;
@@ -373,44 +377,40 @@ class Search
 
     /** Apply performance-improving edits; false when none applied.
      *
-     * In guided mode every dependence-ready performance template is
-     * applied in one batch (one toolchain invocation validates them
-     * together); the random baseline applies one random pick per
-     * iteration, paying a compile for each guess. */
+     * The proposer chooses the rewrites; dependences carried on the
+     * candidates are re-checked here at apply time, so a batch proposal
+     * computed up front still sequences correctly as earlier entries of
+     * the same pass land (pipeline -> unroll -> partition -> dataflow).
+     * A proposer may flag progress_on_attempt, making mere attempts
+     * count as progress — the unguided baseline pays a compile for each
+     * random guess this way. */
     bool
     performanceStep()
     {
         if (ctx_.shouldStop())
             return false;
-        const EditRegistry &registry = EditRegistry::instance();
-        if (!options_.use_dependence) {
-            std::vector<const EditTemplate *> pool;
-            for (const EditTemplate &t : registry.all()) {
-                if (t.performance_improving && !applied_.count(t.name) &&
-                    allowed(t)) {
-                    pool.push_back(&t);
-                }
-            }
-            if (pool.empty())
-                return false;
-            return applyEdit(*pool[rng_.pickIndex(pool)], "");
+        ProposalRequest request;
+        request.phase = ProposalPhase::Performance;
+        request.applied = &applied_;
+        request.rng = &rng_;
+        ctx_.count("search.proposer.calls");
+        Proposal proposal = proposer_->propose(request);
+        if (proposal.candidates.empty()) {
+            ctx_.count("search.proposer.empty");
+            return false;
         }
-        // Guided mode: one ordered pass; dependences resolve as earlier
-        // templates in the pass are applied (pipeline -> unroll ->
-        // partition -> dataflow).
         bool any = false;
-        for (const EditTemplate &t : registry.all()) {
-            if (!t.performance_improving || applied_.count(t.name) ||
-                !allowed(t)) {
-                continue;
-            }
+        for (const ProposedCandidate &candidate : proposal.candidates) {
             bool deps = true;
-            for (const std::string &dep : t.requires_edits)
+            for (const std::string &dep : candidate.requires_edits)
                 deps &= applied_.count(dep) > 0;
             if (!deps)
                 continue;
-            applyEdit(t, "");
-            any |= applied_.count(t.name) > 0;
+            ctx_.count("search.proposer.candidates");
+            AttemptOutcome outcome = applyCandidate(candidate, "");
+            proposer_->observe({candidate.label, outcome});
+            any |= outcome == AttemptOutcome::Applied ||
+                   proposal.progress_on_attempt;
         }
         return any;
     }
@@ -448,7 +448,8 @@ class Search
             applied_ = last_good_applied_;
             resize_attempts_ = 0;
             if (!snapshots_.empty()) {
-                banned_.insert(snapshots_.back().edit_about_to_apply);
+                proposer_->observe({snapshots_.back().edit_about_to_apply,
+                                    AttemptOutcome::Reverted});
                 snapshots_.pop_back();
             }
             ctx_.count("search.reverts");
@@ -462,7 +463,8 @@ class Search
         cand_ = std::move(snap.tu);
         config_ = snap.config;
         applied_ = std::move(snap.applied);
-        banned_.insert(snap.edit_about_to_apply);
+        proposer_->observe(
+            {snap.edit_about_to_apply, AttemptOutcome::Reverted});
         ctx_.count("search.reverts");
         note("revert:" + snap.edit_about_to_apply);
         return true;
@@ -504,12 +506,12 @@ class Search
     CandidateMemo memo_;
     /** Fingerprint of cand_ as of the last compileCandidate(). */
     std::string fingerprint_;
+    /** Where candidate rewrites come from (repair/proposer.h). */
+    std::unique_ptr<CandidateProposer> proposer_;
 
     TuPtr cand_;
     hls::HlsConfig config_;
     std::set<std::string> applied_;
-    std::set<std::string> banned_;
-    std::map<std::string, int> noop_counts_;
     std::vector<Snapshot> snapshots_;
 
     TuPtr best_;

@@ -27,6 +27,7 @@
 #include "repair/diffstat.h"
 #include "repair/edit.h"
 #include "repair/memo.h"
+#include "repair/proposer.h"
 
 namespace heterogen {
 class RunContext;
@@ -86,6 +87,14 @@ struct SearchOptions
      * bit-identical, so search traces do not depend on the choice.
      */
     interp::EngineKind engine = interp::defaultEngine();
+    /**
+     * Candidate proposer driving the search ("template", "corpus" or
+     * "mixed"; see repair/proposer.h). Defaults to HETEROGEN_PROPOSER
+     * when set, else the paper's template enumeration. The judge side
+     * (style gate, toolchain, difftest, memo, backtracking) is
+     * proposer-independent.
+     */
+    std::string proposer = defaultProposerName();
 };
 
 /** One recorded search step (for traces and ablation analysis). */
@@ -147,6 +156,8 @@ struct SearchResult
     std::vector<std::string> applied_order;
     DiffStat diff;
     std::vector<SearchStep> trace;
+    /** Canonical name of the proposer that drove the search. */
+    std::string proposer;
 
     /** Fraction of repair attempts that invoked the full toolchain. */
     double

@@ -111,6 +111,10 @@ validateJobSpec(const JobSpec &spec)
               "' is scheduled to cancel at ", spec.cancel_at_minutes,
               " before it arrives at ", spec.arrival_minutes);
     }
+    if (!repair::parseProposerName(spec.proposer))
+        fatal("service: job for tenant '", spec.tenant,
+              "' names unknown proposer '", spec.proposer,
+              "' (expected template, corpus or mixed)");
     core::validateOptions(spec.options);
 }
 

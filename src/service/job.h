@@ -79,6 +79,14 @@ struct JobSpec
      * options.faults is honoured per job.
      */
     core::HeteroGenOptions options;
+    /**
+     * Per-job repair-proposer override ("" = keep options.proposer /
+     * options.search.proposer). Accepted names: "template", "corpus",
+     * "mixed"; anything else is rejected at submit. Lets one service
+     * run race proposers across tenants, as bench/fig9_ablation's
+     * --proposers mode does.
+     */
+    std::string proposer;
 };
 
 /** Lifecycle of a job inside the service. */

@@ -450,6 +450,8 @@ ConversionService::executeRunning(std::unique_lock<std::mutex> &lock)
                 try {
                     core::HeteroGen hg(job->spec.source);
                     core::HeteroGenOptions opts = job->spec.options;
+                    if (!job->spec.proposer.empty())
+                        opts.proposer = job->spec.proposer;
                     opts.eval_pool = eval_pool_.get();
                     opts.stage_hook =
                         [this, job](const std::string &stage) {

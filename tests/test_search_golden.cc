@@ -40,6 +40,7 @@ goldenOptions()
     opts.search.use_memo = true;
     opts.search.difftest_sim_workers = 1;
     opts.search.eval_threads = 1;
+    opts.search.proposer = "template";
     return opts;
 }
 

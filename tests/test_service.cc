@@ -183,6 +183,38 @@ TEST(ServiceValidation, RejectsMalformedJobSpecs)
     bad = spec;
     bad.options.kernel.clear(); // core::validateOptions rejects
     EXPECT_THROW(validateJobSpec(bad), FatalError);
+
+    bad = spec;
+    bad.proposer = "gpt4"; // per-job proposer names are validated
+    EXPECT_THROW(validateJobSpec(bad), FatalError);
+
+    bad = spec;
+    bad.options.proposer = "gpt4"; // and the nested pipeline knob
+    EXPECT_THROW(validateJobSpec(bad), FatalError);
+
+    for (const char *name : {"", "template", "corpus", "mixed"}) {
+        JobSpec ok = spec;
+        ok.proposer = name;
+        EXPECT_NO_THROW(validateJobSpec(ok)) << name;
+    }
+}
+
+TEST(ServiceValidation, PerJobProposerOverrideReachesTheRun)
+{
+    ConversionService svc(ServiceOptions{});
+    JobSpec corpus_job = tinyJob("acme");
+    corpus_job.proposer = "corpus";
+    int corpus_id = svc.submit(corpus_job);
+    int default_id = svc.submit(tinyJob("acme"));
+    svc.drain();
+
+    const JobOutcome &corpus_out = svc.collect(corpus_id);
+    ASSERT_TRUE(corpus_out.has_report);
+    EXPECT_EQ(corpus_out.report.search.proposer, "corpus");
+
+    const JobOutcome &default_out = svc.collect(default_id);
+    ASSERT_TRUE(default_out.has_report);
+    EXPECT_EQ(default_out.report.search.proposer, "template");
 }
 
 TEST(ServiceValidation, UnknownTenantNeedsAutoRegistration)

@@ -605,6 +605,39 @@ TEST(ValidateOptions, AcceptsEveryKnownEngineName)
     }
 }
 
+TEST(ValidateOptions, RejectsUnknownProposerName)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.proposer = "gpt4";
+    try {
+        core::validateOptions(opts);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        // The diagnostic must name the bad value and the legal ones.
+        EXPECT_NE(std::string(e.what()).find("gpt4"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("template"),
+                  std::string::npos);
+    }
+    opts.proposer = "corpuses"; // near-miss spelling still rejected
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+    // The nested search knob is validated too, not just the override.
+    opts.proposer.clear();
+    opts.search.proposer = "gpt4";
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+}
+
+TEST(ValidateOptions, AcceptsEveryKnownProposerName)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    for (const char *name : {"", "template", "corpus", "mixed"}) {
+        opts.proposer = name;
+        opts.search.proposer = name;
+        EXPECT_NO_THROW(core::validateOptions(opts)) << name;
+    }
+}
+
 TEST(ValidateOptions, AcceptsTheDefaultsWithAKernel)
 {
     core::HeteroGenOptions opts;
