@@ -54,6 +54,17 @@ validateOptions(const HeteroGenOptions &options)
     if (!repair::parseProposerName(options.search.proposer))
         fatal("HeteroGen: unknown proposer '", options.search.proposer,
               "' (expected template, corpus or mixed)");
+    if (!options.cache_dir.empty()) {
+        std::string err = repair::cacheDirError(options.cache_dir);
+        if (!err.empty())
+            fatal("HeteroGen: ", err);
+    }
+    if (!options.search.cache_dir.empty() &&
+        options.search.cache_dir != options.cache_dir) {
+        std::string err = repair::cacheDirError(options.search.cache_dir);
+        if (!err.empty())
+            fatal("HeteroGen: ", err);
+    }
     for (const FaultRule &rule : options.faults.rules) {
         if (rule.probability < 0 || rule.probability > 1)
             fatal("HeteroGen: fault probability for '", rule.site,
@@ -146,6 +157,9 @@ HeteroGen::run(RunContext &ctx, const HeteroGenOptions &options) const
     // Resolve the pipeline-wide proposer override (validated above).
     if (!options.proposer.empty())
         search_opts.proposer = options.proposer;
+    // Resolve the pipeline-wide cache-dir override (validated above).
+    if (!options.cache_dir.empty())
+        search_opts.cache_dir = options.cache_dir;
     if (options.eval_pool) {
         fuzz_opts.pool = options.eval_pool;
         search_opts.pool = options.eval_pool;

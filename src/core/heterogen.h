@@ -95,6 +95,15 @@ struct HeteroGenOptions
      * wholesale.
      */
     std::string proposer;
+    /**
+     * Persistent verdict-cache directory for the repair search ("" =
+     * inherit search.cache_dir, which honours HETEROGEN_CACHE_DIR; see
+     * docs/CACHING.md). A non-empty value overrides search.cache_dir
+     * wholesale. Non-empty values — here or on search.cache_dir — must
+     * name a creatable, writable directory or validateOptions rejects
+     * the run with a "cache:" diagnostic.
+     */
+    std::string cache_dir;
 };
 
 /**

@@ -28,6 +28,14 @@ class RunContext;
 
 namespace heterogen::hls {
 
+/**
+ * Version stamp of the simulated toolchain's judging behaviour. Bump
+ * whenever a change could alter any CompileResult or co-simulation
+ * outcome for an unchanged design: persisted verdicts (repair/store.h)
+ * carry this stamp, and a mismatch invalidates every stale entry.
+ */
+inline constexpr const char *kSimulatorVersion = "2022.1-sim1";
+
 /** Result of one full synthesis attempt. */
 struct CompileResult
 {

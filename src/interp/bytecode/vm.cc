@@ -1103,9 +1103,12 @@ class VM
                 charge(uint64_t(op.a));
                 break;
               case OpCode::MallocRaw: {
-                Value n = popV();
+                long cells = popV().asInt();
+                if (cells > Memory::kMaxCells)
+                    throw Trap(
+                        "allocation exceeds interpreter heap limit");
                 int32_t block =
-                    memory_.allocate(int(n.asInt()), nullptr, true);
+                    memory_.allocate(int(cells), nullptr, true);
                 push(Value::makePointer({block, 0}));
                 break;
               }
@@ -1120,14 +1123,20 @@ class VM
                     throw Trap(plan.trap);
                 int32_t block;
                 if (plan.layout >= 0) {
+                    if (count > Memory::kMaxCells)
+                        throw Trap(
+                            "allocation exceeds interpreter heap limit");
                     block = memory_.allocatePattern(
                         int(count), plan.type,
                         p_.layouts[size_t(plan.layout)].field_types,
                         true);
                 } else {
-                    block = memory_.allocate(
-                        int(count) * int(plan.cells_per), plan.type,
-                        true);
+                    long cells = count * long(plan.cells_per);
+                    if (cells > Memory::kMaxCells)
+                        throw Trap(
+                            "allocation exceeds interpreter heap limit");
+                    block = memory_.allocate(int(cells), plan.type,
+                                             true);
                 }
                 push(Value::makePointer({block, 0}));
                 break;

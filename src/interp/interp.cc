@@ -1207,9 +1207,11 @@ class Engine
             }
         }
         if (!so) {
-            Value n = eval(arg);
+            long cells = eval(arg).asInt();
+            if (cells > Memory::kMaxCells)
+                throw Trap("allocation exceeds interpreter heap limit");
             int32_t block =
-                memory_.allocate(int(n.asInt()), nullptr, true);
+                memory_.allocate(int(cells), nullptr, true);
             return Value::makePointer({block, 0});
         }
         long count = 1;
@@ -1221,11 +1223,15 @@ class Engine
         int32_t block;
         if (t->isStruct()) {
             const Layout &layout = layoutOf(t->structName());
+            if (count > Memory::kMaxCells)
+                throw Trap("allocation exceeds interpreter heap limit");
             block = memory_.allocatePattern(int(count), t,
                                             layout.field_types, true);
         } else {
-            block = memory_.allocate(int(count) * flatCells(t.get()), t,
-                                     true);
+            long cells = count * static_cast<long>(flatCells(t.get()));
+            if (cells > Memory::kMaxCells)
+                throw Trap("allocation exceeds interpreter heap limit");
+            block = memory_.allocate(int(cells), t, true);
         }
         return Value::makePointer({block, 0});
     }

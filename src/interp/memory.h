@@ -66,12 +66,22 @@ class Memory
         blocks_[0].alive = false;
     }
 
+    /**
+     * Upper bound on cells per allocation. The modeled target is an
+     * FPGA-scale memory, so any one object this large is already
+     * un-synthesizable — and a fuzzed `malloc(n)` with a huge n must
+     * trap like every other bad program, not exhaust the host.
+     */
+    static constexpr long kMaxCells = 1L << 22;
+
     /** Allocate a block of `count` cells typed `elem`. Returns block id. */
     int32_t
     allocate(int count, const cir::Type *elem, bool from_malloc = false)
     {
         if (count < 0)
             throw Trap("allocation with negative size");
+        if (count > kMaxCells)
+            throw Trap("allocation exceeds interpreter heap limit");
         MemBlock block;
         block.base = cells_.size();
         block.size = count;
@@ -109,6 +119,9 @@ class Memory
             throw Trap("allocation with negative size");
         if (pattern.empty())
             throw Trap("struct allocation with empty layout");
+        if (static_cast<long>(count) * static_cast<long>(pattern.size()) >
+            kMaxCells)
+            throw Trap("allocation exceeds interpreter heap limit");
         MemBlock block;
         block.base = cells_.size();
         block.size =

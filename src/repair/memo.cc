@@ -1,6 +1,7 @@
 #include "repair/memo.h"
 
 #include "cir/printer.h"
+#include "repair/store.h"
 #include "support/run_context.h"
 
 namespace heterogen::repair {
@@ -9,10 +10,17 @@ std::string
 candidateFingerprint(const cir::TranslationUnit &candidate,
                      const hls::HlsConfig &config)
 {
+    return candidateFingerprint(cir::print(candidate), config);
+}
+
+std::string
+candidateFingerprint(const std::string &printed,
+                     const hls::HlsConfig &config)
+{
     // The printed text is the full syntactic identity; config fields are
     // appended under a separator no printed program contains. Keys are
     // exact — no hashing, so no collision can alias two candidates.
-    std::string key = cir::print(candidate);
+    std::string key = printed;
     key += '\x1f';
     key += config.top_function;
     key += '\x1f';
@@ -31,14 +39,29 @@ CandidateMemo::count(int MemoStats::*field, const char *trace_key)
 }
 
 std::optional<hls::CompileResult>
-CandidateMemo::findCompile(const std::string &fingerprint)
+CandidateMemo::findCompile(const std::string &fingerprint,
+                           MemoLayer *layer)
 {
     auto it = entries_.find(fingerprint);
     if (it != entries_.end() && it->second.compile) {
-        count(&MemoStats::compile_hits, "search.memo_compile_hits");
+        count(&MemoStats::compile_hits, "repair.memo.compile_hits");
+        if (layer)
+            *layer = MemoLayer::Memory;
         return it->second.compile;
     }
-    count(&MemoStats::compile_misses, "search.memo_compile_misses");
+    count(&MemoStats::compile_misses, "repair.memo.compile_misses");
+    if (store_) {
+        std::optional<hls::CompileResult> disk =
+            store_->findCompile(ctx_, fingerprint);
+        if (disk) {
+            entries_[fingerprint].compile = disk;
+            if (layer)
+                *layer = MemoLayer::Disk;
+            return disk;
+        }
+    }
+    if (layer)
+        *layer = MemoLayer::None;
     return std::nullopt;
 }
 
@@ -47,25 +70,46 @@ CandidateMemo::storeCompile(const std::string &fingerprint,
                             const hls::CompileResult &result)
 {
     entries_[fingerprint].compile = result;
+    if (store_)
+        store_->storeCompile(ctx_, fingerprint, result);
 }
 
 std::optional<DiffTestResult>
-CandidateMemo::findDiffTest(const std::string &fingerprint)
+CandidateMemo::findDiffTest(const std::string &fingerprint,
+                            const std::string &disk_key,
+                            MemoLayer *layer)
 {
     auto it = entries_.find(fingerprint);
     if (it != entries_.end() && it->second.difftest) {
-        count(&MemoStats::difftest_hits, "search.memo_difftest_hits");
+        count(&MemoStats::difftest_hits, "repair.memo.difftest_hits");
+        if (layer)
+            *layer = MemoLayer::Memory;
         return it->second.difftest;
     }
-    count(&MemoStats::difftest_misses, "search.memo_difftest_misses");
+    count(&MemoStats::difftest_misses, "repair.memo.difftest_misses");
+    if (store_ && !disk_key.empty()) {
+        std::optional<DiffTestResult> disk =
+            store_->findDiffTest(ctx_, disk_key);
+        if (disk) {
+            entries_[fingerprint].difftest = disk;
+            if (layer)
+                *layer = MemoLayer::Disk;
+            return disk;
+        }
+    }
+    if (layer)
+        *layer = MemoLayer::None;
     return std::nullopt;
 }
 
 void
 CandidateMemo::storeDiffTest(const std::string &fingerprint,
-                             const DiffTestResult &result)
+                             const DiffTestResult &result,
+                             const std::string &disk_key)
 {
     entries_[fingerprint].difftest = result;
+    if (store_ && !disk_key.empty())
+        store_->storeDiffTest(ctx_, disk_key, result);
 }
 
 void

@@ -11,6 +11,14 @@
  * The memo keys a candidate by exactly that pair and caches the compile
  * and difftest outcomes separately, since a candidate that fails to
  * compile never reaches difftesting.
+ *
+ * The memo is the in-memory L1 of a two-level cache: attach a
+ * persistent VerdictStore (repair/store.h) with setStore() and L1
+ * misses fall through to the on-disk L2, whose hits are promoted back
+ * into L1. The MemoLayer out-parameter tells the search which layer
+ * answered, because a disk hit must be *replayed* (charge the stored
+ * minutes, bump result counters) while an L1 hit is free by
+ * construction — the candidate was already paid for in this run.
  */
 
 #ifndef HETEROGEN_REPAIR_MEMO_H
@@ -30,6 +38,8 @@ class RunContext;
 
 namespace heterogen::repair {
 
+class VerdictStore;
+
 /**
  * Stable identity of a candidate evaluation: the printed program plus
  * every HlsConfig field that influences compilation or co-simulation.
@@ -37,6 +47,19 @@ namespace heterogen::repair {
  */
 std::string candidateFingerprint(const cir::TranslationUnit &candidate,
                                  const hls::HlsConfig &config);
+
+/** Same key, built from an already-printed program (byte-identical to
+ * the TranslationUnit overload on the same candidate). */
+std::string candidateFingerprint(const std::string &printed,
+                                 const hls::HlsConfig &config);
+
+/** Which cache layer answered a lookup. */
+enum class MemoLayer
+{
+    None,   ///< miss everywhere
+    Memory, ///< in-memory L1 (already paid for in this run)
+    Disk,   ///< persistent L2 (replay: charge stored minutes)
+};
 
 /** Hit/miss counters of one memo (mirrored into SearchResult). */
 struct MemoStats
@@ -62,7 +85,7 @@ struct MemoStats
  * Cache of candidate evaluations keyed by candidateFingerprint().
  *
  * Counter ownership: when constructed with a RunContext, every hit and
- * miss is counted on that context's trace (search.memo_* on the span
+ * miss is counted on that context's trace (repair.memo.* on the span
  * open at lookup time) as the single authoritative copy — under the
  * conversion service many jobs run concurrently, and routing the
  * counters through the *owning* context keeps each job's stats exact
@@ -74,27 +97,45 @@ class CandidateMemo
   public:
     CandidateMemo() = default;
 
-    /** Counters additionally land on ctx's trace (search.memo_*). */
+    /** Counters additionally land on ctx's trace (repair.memo.*). */
     explicit CandidateMemo(RunContext *ctx) : ctx_(ctx) {}
 
     /**
+     * Attach (or detach, with nullptr) the persistent L2. L1 misses
+     * then consult the store; disk hits are promoted into L1 and
+     * reported via the MemoLayer out-parameters below.
+     */
+    void setStore(VerdictStore *store) { store_ = store; }
+
+    /**
      * Cached compile outcome for the fingerprint, or nullopt on miss.
-     * Counts one hit or miss.
+     * Counts one hit or miss (an L2 hit counts as a memo hit — the
+     * lookup was answered without running the toolchain).
      */
     std::optional<hls::CompileResult>
-    findCompile(const std::string &fingerprint);
+    findCompile(const std::string &fingerprint,
+                MemoLayer *layer = nullptr);
 
-    /** Record the compile outcome for the fingerprint. */
+    /** Record the compile outcome for the fingerprint, writing through
+     * to the attached store (which drops tool failures). */
     void storeCompile(const std::string &fingerprint,
                       const hls::CompileResult &result);
 
-    /** Cached difftest outcome, or nullopt on miss. Counts the lookup. */
+    /**
+     * Cached difftest outcome, or nullopt on miss. Counts the lookup.
+     * `disk_key` is the L2 key (carries campaign context beyond the
+     * fingerprint); "" skips the L2 even when a store is attached.
+     */
     std::optional<DiffTestResult>
-    findDiffTest(const std::string &fingerprint);
+    findDiffTest(const std::string &fingerprint,
+                 const std::string &disk_key = "",
+                 MemoLayer *layer = nullptr);
 
-    /** Record the difftest outcome for the fingerprint. */
+    /** Record the difftest outcome for the fingerprint, writing through
+     * to the attached store under `disk_key` when non-empty. */
     void storeDiffTest(const std::string &fingerprint,
-                       const DiffTestResult &result);
+                       const DiffTestResult &result,
+                       const std::string &disk_key = "");
 
     const MemoStats &stats() const { return stats_; }
     size_t size() const { return entries_.size(); }
@@ -112,6 +153,8 @@ class CandidateMemo
 
     /** Owning context; counters route to its trace when non-null. */
     RunContext *ctx_ = nullptr;
+    /** Persistent L2, not owned; may be null (L1-only operation). */
+    VerdictStore *store_ = nullptr;
     std::unordered_map<std::string, Entry> entries_;
     MemoStats stats_;
 };

@@ -7,6 +7,7 @@
 #include "repair/localizer.h"
 #include "repair/memo.h"
 #include "repair/proposer.h"
+#include "repair/store.h"
 #include "repair/transforms.h"
 #include "stylecheck/stylecheck.h"
 #include "support/diagnostics.h"
@@ -71,10 +72,12 @@ class Search
         SpanScope span(ctx_, "repair",
                        Budget::minutes(options_.budget_minutes));
         span_ = &span;
+        initStore();
         while (!dead_end_ && !ctx_.shouldStop() &&
                result_.iterations < options_.max_iterations) {
             result_.iterations += 1;
             ctx_.count("search.candidates");
+            printed_.clear(); // cand_ may have changed last iteration
 
             if (options_.use_style_checker && !styleGate())
                 continue;
@@ -113,6 +116,7 @@ class Search
             if (!handleDivergence())
                 break;
         }
+        flushOwnedStore();
         finalize();
         span_ = nullptr;
         return std::move(result_);
@@ -140,21 +144,109 @@ class Search
     // --- memoized candidate evaluation ------------------------------------
 
     /**
+     * Open the persistent verdict store (L2 under the memo), when
+     * configured. The disk stays out of the loop entirely while a fault
+     * plan is armed: fault draws are keyed by invocation index, so
+     * serving verdicts from disk would shift every subsequent draw and
+     * change which invocations fail.
+     */
+    void
+    initStore()
+    {
+        if (!options_.use_memo || ctx_.faultsEnabled())
+            return;
+        if (options_.verdict_store) {
+            store_ = options_.verdict_store;
+        } else if (!options_.cache_dir.empty()) {
+            VerdictStoreOptions vopts;
+            vopts.dir = options_.cache_dir;
+            owned_store_ = std::make_unique<VerdictStore>(vopts);
+            store_ = owned_store_.get();
+        }
+        if (!store_ || !store_->enabled()) {
+            store_ = nullptr;
+            owned_store_.reset();
+            return;
+        }
+        memo_.setStore(store_);
+        // Load-time stale/corrupt line count, mirrored once for stores
+        // this search owns (the service mirrors shared stores itself).
+        if (owned_store_) {
+            int64_t invalid = store_->diskStats().invalid;
+            if (invalid > 0)
+                ctx_.count("repair.diskcache.invalid", invalid);
+        }
+        // Campaign context of every difftest in this run: the verdict
+        // depends on the CPU reference, kernel, suite and sampling too,
+        // not just the candidate fingerprint.
+        std::string suite_fp;
+        for (const fuzz::TestCase &test : suite_.cases()) {
+            suite_fp += test.str();
+            suite_fp += '\x1e';
+        }
+        difftest_ctx_ = cir::print(original_);
+        difftest_ctx_ += '\x1f';
+        difftest_ctx_ += kernel_;
+        difftest_ctx_ += '\x1f';
+        difftest_ctx_ += suite_fp;
+        difftest_ctx_ += '\x1f';
+        difftest_ctx_ += std::to_string(options_.difftest_sample);
+        difftest_ctx_ += '\x1f';
+        difftest_ctx_ += std::to_string(options_.difftest_sim_workers);
+    }
+
+    /** Publish buffered verdicts of a store this search opened itself
+     * (externally-supplied stores are flushed by their owner). */
+    void
+    flushOwnedStore()
+    {
+        if (!owned_store_)
+            return;
+        owned_store_->flush();
+        int64_t evicted = owned_store_->diskStats().evictions;
+        if (evicted > 0)
+            ctx_.count("repair.diskcache.evictions", evicted);
+    }
+
+    /** Printed text of cand_, computed at most once per iteration. */
+    const std::string &
+    printedCand()
+    {
+        if (printed_.empty())
+            printed_ = cir::print(*cand_);
+        return printed_;
+    }
+
+    /**
      * Compile the candidate, answering identical revisits from the memo
-     * (no toolchain invocation, no synthesis minutes). Remembers the
-     * fingerprint so difftestCandidate() reuses it.
+     * (no toolchain invocation, no synthesis minutes) and cross-run
+     * repeats from the verdict store. A disk hit is *replayed* as if
+     * the toolchain ran — stored synthesis minutes charged,
+     * full_hls_invocations advanced, the same trace action recorded —
+     * so a warm run's SearchResult is bit-identical to a cold one;
+     * only the actual-work counters (hls.compiles, hls.errors.*) stay
+     * still. Remembers the fingerprint so difftestCandidate() reuses
+     * it.
      */
     hls::CompileResult
     compileCandidate()
     {
         if (options_.use_memo) {
             // The memo owns the hit/miss accounting: it bumps the
-            // search.memo_* counters on ctx_'s trace itself, so each
+            // repair.memo.* counters on ctx_'s trace itself, so each
             // job's stats stay exact under concurrent service runs.
-            fingerprint_ = candidateFingerprint(*cand_, config_);
-            if (auto hit = memo_.findCompile(fingerprint_)) {
-                note("compile:memo-" +
-                     std::string(hit->ok ? "ok" : "errors"));
+            fingerprint_ = candidateFingerprint(printedCand(), config_);
+            MemoLayer layer = MemoLayer::None;
+            if (auto hit = memo_.findCompile(fingerprint_, &layer)) {
+                if (layer == MemoLayer::Disk) {
+                    ctx_.charge(hit->synth_minutes);
+                    result_.full_hls_invocations += 1;
+                    note("compile:" +
+                         std::string(hit->ok ? "ok" : "errors"));
+                } else {
+                    note("compile:memo-" +
+                         std::string(hit->ok ? "ok" : "errors"));
+                }
                 return *hit;
             }
         }
@@ -173,13 +265,29 @@ class Search
         return compiled;
     }
 
-    /** Difftest the candidate, answering identical revisits from memo. */
+    /**
+     * Difftest the candidate, answering identical revisits from memo
+     * and cross-run repeats from the verdict store. A within-run L1 hit
+     * stays free (the campaign was already paid for this run, exactly
+     * as before); a disk hit replays the stored simulated minutes.
+     */
     DiffTestResult
     difftestCandidate()
     {
+        std::string disk_key;
+        if (store_) {
+            disk_key = fingerprint_;
+            disk_key += '\x1f';
+            disk_key += difftest_ctx_;
+        }
         if (options_.use_memo) {
-            if (auto hit = memo_.findDiffTest(fingerprint_))
+            MemoLayer layer = MemoLayer::None;
+            if (auto hit =
+                    memo_.findDiffTest(fingerprint_, disk_key, &layer)) {
+                if (layer == MemoLayer::Disk)
+                    ctx_.charge(hit->sim_minutes);
                 return *hit;
+            }
         }
         DiffTestOptions dt;
         dt.max_tests = options_.difftest_sample;
@@ -189,17 +297,33 @@ class Search
         DiffTestResult fitness = diffTest(ctx_, original_, kernel_,
                                           *cand_, config_, suite_, dt);
         if (options_.use_memo && !fitness.tool_failure)
-            memo_.storeDiffTest(fingerprint_, fitness);
+            memo_.storeDiffTest(fingerprint_, fitness, disk_key);
         return fitness;
     }
 
     // --- style gate -----------------------------------------------------------
 
-    /** Returns true when the candidate passed style checking. */
+    /**
+     * Returns true when the candidate passed style checking. Style
+     * verdicts are config-independent, so the persistent store keys
+     * them by printed program alone; a disk hit replays exactly like a
+     * fresh check (same counters, same charged minutes, same issue fed
+     * to localization).
+     */
     bool
     styleGate()
     {
-        style::StyleReport report = style::checkStyle(*cand_);
+        style::StyleReport report;
+        if (store_) {
+            if (auto hit = store_->findStyle(&ctx_, printedCand())) {
+                report = *hit;
+            } else {
+                report = style::checkStyle(*cand_);
+                store_->storeStyle(&ctx_, printedCand(), report);
+            }
+        } else {
+            report = style::checkStyle(*cand_);
+        }
         result_.style_checks += 1;
         ctx_.count("search.style_checks");
         ctx_.charge(report.check_minutes);
@@ -504,8 +628,16 @@ class Search
     std::unique_ptr<WorkerPool> owned_pool_;
     WorkerPool *pool_ = nullptr;
     CandidateMemo memo_;
+    /** Active verdict store (owned or external); null = memory only. */
+    VerdictStore *store_ = nullptr;
+    /** Owned only when options_.verdict_store did not supply one. */
+    std::unique_ptr<VerdictStore> owned_store_;
     /** Fingerprint of cand_ as of the last compileCandidate(). */
     std::string fingerprint_;
+    /** Lazily-printed text of cand_; cleared each iteration. */
+    std::string printed_;
+    /** Fixed campaign context appended to every difftest disk key. */
+    std::string difftest_ctx_;
     /** Where candidate rewrites come from (repair/proposer.h). */
     std::unique_ptr<CandidateProposer> proposer_;
 

@@ -28,6 +28,7 @@
 #include "repair/edit.h"
 #include "repair/memo.h"
 #include "repair/proposer.h"
+#include "repair/store.h"
 
 namespace heterogen {
 class RunContext;
@@ -76,6 +77,22 @@ struct SearchOptions
      * revisits make this common).
      */
     bool use_memo = true;
+    /**
+     * Directory of the persistent verdict cache (the on-disk L2 under
+     * the memo; see docs/CACHING.md). "" disables persistence.
+     * Defaults to HETEROGEN_CACHE_DIR when set. Requires use_memo; the
+     * disk is also bypassed entirely while a fault plan is armed (fault
+     * draws are keyed by invocation index — replaying verdicts would
+     * shift every subsequent draw).
+     */
+    std::string cache_dir = defaultCacheDir();
+    /**
+     * Externally-owned verdict store to use instead of opening
+     * cache_dir (non-owning; the conversion service shares one store
+     * per directory across concurrent jobs). When set, cache_dir is
+     * ignored and the owner is responsible for flush().
+     */
+    VerdictStore *verdict_store = nullptr;
     /**
      * When non-empty, only these templates may be applied — the
      * HeteroRefactor baseline restricts to the dynamic-data-structure

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The persistent verdict store: compile, difftest and style verdicts
+ * keyed by content, surviving the process — the on-disk L2 under the
+ * in-memory CandidateMemo (L1). docs/CACHING.md is the full story.
+ *
+ * What may be persisted is exactly what CandidateMemo may hold, under
+ * the same rule from the fault-injection layer: tool failures are
+ * NEVER persisted — a toolchain hiccup says nothing about the design,
+ * and a revisit deserves a fresh attempt. storeCompile/storeDiffTest
+ * drop tool_failure results defensively even though the search already
+ * gates them, and the search bypasses the disk entirely while a fault
+ * plan is armed (fault draws are keyed by invocation index, so serving
+ * verdicts from disk would shift every subsequent draw).
+ *
+ * Replay contract (bit-identical warm runs): a disk hit is replayed by
+ * the search as if the toolchain ran — the stored simulated minutes
+ * are charged, result counters (full_hls_invocations, style_checks)
+ * advance, and the search trace records the same action. Only the
+ * actual-work trace counters (hls.compiles, difftest.*, interp.*)
+ * stay still, which is precisely how bench/cache_warmup measures the
+ * saved work while proving reports identical.
+ */
+
+#ifndef HETEROGEN_REPAIR_STORE_H
+#define HETEROGEN_REPAIR_STORE_H
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "hls/compiler.h"
+#include "repair/difftest.h"
+#include "stylecheck/stylecheck.h"
+#include "support/diskcache.h"
+
+namespace heterogen {
+class RunContext;
+}
+
+namespace heterogen::repair {
+
+/**
+ * Cache directory honoured by default: the HETEROGEN_CACHE_DIR
+ * environment variable, or "" (persistence disabled). The
+ * conventional in-repo location is ".heterogen-cache/" (gitignored).
+ */
+std::string defaultCacheDir();
+
+/**
+ * Version stamp persisted with every verdict: the store format plus
+ * the simulator (hls::kSimulatorVersion) and style-checker
+ * (style::kStyleCheckerVersion) versions. Bumping either tool version
+ * invalidates every entry written under the old stamp.
+ */
+std::string defaultToolchainVersion();
+
+/**
+ * "" when `dir` can be used as a cache directory; otherwise a
+ * "cache:"-prefixed diagnostic (blank name, or the directory cannot
+ * be created/written). core::validateOptions and validateJobSpec
+ * reject non-empty cache_dir values this probe fails.
+ */
+std::string cacheDirError(const std::string &dir);
+
+/** Configuration of one VerdictStore. */
+struct VerdictStoreOptions
+{
+    /** Root directory (required). */
+    std::string dir;
+    /** Entry version; "" = defaultToolchainVersion(). Tests override
+     * it to prove a simulated toolchain bump invalidates entries. */
+    std::string version;
+    /** Per-shard entry cap (see DiskCacheOptions). */
+    int max_entries_per_shard = 2048;
+    /** Forwarded to DiskCacheOptions::pre_publish_hook (tests). */
+    std::function<bool(const std::string &)> pre_publish_hook;
+};
+
+/** Aggregate accounting of one VerdictStore (bench reporting). */
+struct VerdictStats
+{
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t writes = 0;
+    /** Simulated toolchain minutes answered from disk instead of
+     * re-evaluated (synthesis + difftest campaigns + style checks). */
+    double minutes_saved = 0;
+};
+
+/**
+ * Typed verdict cache over a DiskCache. Thread-safe; shareable by
+ * every concurrent job of a conversion service.
+ *
+ * Counter routing: each lookup/store counts repair.diskcache.{hits,
+ * misses,writes} on the calling RunContext's trace (when given), so
+ * per-job stats stay exact under concurrency. A write is counted
+ * whenever the load-time snapshot lacks the key — a pure function of
+ * (snapshot, job), independent of which concurrent job happened to
+ * buffer the physical write first. Load-time invalid counts and
+ * flush-time evictions live in diskStats(); the search mirrors them
+ * onto its trace for stores it owns.
+ */
+class VerdictStore
+{
+  public:
+    explicit VerdictStore(VerdictStoreOptions options);
+
+    /** False when the directory was unusable (acts as always-miss). */
+    bool enabled() const { return cache_.enabled(); }
+
+    const std::string &dir() const { return cache_.dir(); }
+    const std::string &version() const { return version_; }
+
+    std::optional<hls::CompileResult>
+    findCompile(RunContext *ctx, const std::string &fingerprint);
+
+    /** No-op on tool_failure results (never persisted). */
+    void storeCompile(RunContext *ctx, const std::string &fingerprint,
+                      const hls::CompileResult &result);
+
+    /** `key` must carry the campaign context too (original program,
+     * kernel, suite, sampling) — see Search::difftestDiskKey. */
+    std::optional<DiffTestResult> findDiffTest(RunContext *ctx,
+                                               const std::string &key);
+
+    /** No-op on tool_failure results (never persisted). */
+    void storeDiffTest(RunContext *ctx, const std::string &key,
+                       const DiffTestResult &result);
+
+    std::optional<style::StyleReport>
+    findStyle(RunContext *ctx, const std::string &printed_program);
+
+    void storeStyle(RunContext *ctx, const std::string &printed_program,
+                    const style::StyleReport &report);
+
+    /** Publish buffered verdicts (see DiskCache::flush). */
+    bool flush() { return cache_.flush(); }
+
+    VerdictStats stats() const;
+    DiskCacheStats diskStats() const { return cache_.stats(); }
+    size_t snapshotSize() const { return cache_.snapshotSize(); }
+
+  private:
+    std::optional<std::string> findRaw(RunContext *ctx,
+                                       const std::string &key);
+    void storeRaw(RunContext *ctx, const std::string &key,
+                  const std::string &value);
+    void countSaved(double minutes);
+    /** Decoding failed on a served value: treat as miss + invalid. */
+    void countDecodeFailure(RunContext *ctx);
+
+    std::string version_;
+    DiskCache cache_;
+    mutable std::mutex stats_mu_;
+    VerdictStats stats_;
+};
+
+} // namespace heterogen::repair
+
+#endif // HETEROGEN_REPAIR_STORE_H

@@ -115,6 +115,11 @@ validateJobSpec(const JobSpec &spec)
         fatal("service: job for tenant '", spec.tenant,
               "' names unknown proposer '", spec.proposer,
               "' (expected template, corpus or mixed)");
+    if (!spec.cache_dir.empty()) {
+        std::string err = repair::cacheDirError(spec.cache_dir);
+        if (!err.empty())
+            fatal("service: job for tenant '", spec.tenant, "': ", err);
+    }
     core::validateOptions(spec.options);
 }
 

@@ -87,6 +87,15 @@ struct JobSpec
      * --proposers mode does.
      */
     std::string proposer;
+    /**
+     * Per-job persistent verdict-cache directory ("" = keep
+     * options.cache_dir / options.search.cache_dir). The service opens
+     * one shared store per distinct directory, so jobs naming the same
+     * directory share verdicts safely; a non-empty value must name a
+     * creatable, writable directory or submit rejects it with a
+     * "cache:" diagnostic. See docs/CACHING.md.
+     */
+    std::string cache_dir;
 };
 
 /** Lifecycle of a job inside the service. */

@@ -45,6 +45,9 @@ struct ConversionService::Job
     /** Host-time cancellation request, folded in at the next event. */
     std::atomic<bool> live_cancel{false};
 
+    /** Shared verdict store resolved at dispatch; null = no cache. */
+    repair::VerdictStore *store = nullptr;
+
     // --- current dispatch (valid while status.state == Running) ---
     std::unique_ptr<RunContext> ctx; ///< null when serving from cache
     double dispatch_start = -1;
@@ -359,11 +362,40 @@ ConversionService::startRunLocked(Job &job)
         return;
     }
     job.cached.reset();
+    // Resolve the job's persistent verdict cache (spec override, then
+    // the pipeline-level knob, then the search-level one) to one store
+    // shared by every job naming that directory. A caller-supplied
+    // search.verdict_store wins untouched.
+    const core::HeteroGenOptions &o = job.spec.options;
+    if (!o.search.verdict_store && o.search.use_memo) {
+        const std::string &dir = !job.spec.cache_dir.empty()
+                                     ? job.spec.cache_dir
+                                     : (!o.cache_dir.empty()
+                                            ? o.cache_dir
+                                            : o.search.cache_dir);
+        if (!dir.empty())
+            job.store = storeForLocked(dir);
+    }
     job.ctx = std::make_unique<RunContext>();
     if (job.root_bound < kInf)
         job.ctx->setRootBudget(Budget::minutes(job.root_bound));
     if (job.live_cancel.load())
         job.ctx->requestCancel();
+}
+
+repair::VerdictStore *
+ConversionService::storeForLocked(const std::string &dir)
+{
+    auto it = stores_.find(dir);
+    if (it == stores_.end()) {
+        repair::VerdictStoreOptions vopts;
+        vopts.dir = dir;
+        it = stores_
+                 .emplace(dir, std::make_unique<repair::VerdictStore>(
+                                   std::move(vopts)))
+                 .first;
+    }
+    return it->second.get();
 }
 
 bool
@@ -452,6 +484,8 @@ ConversionService::executeRunning(std::unique_lock<std::mutex> &lock)
                     core::HeteroGenOptions opts = job->spec.options;
                     if (!job->spec.proposer.empty())
                         opts.proposer = job->spec.proposer;
+                    if (job->store)
+                        opts.search.verdict_store = job->store;
                     opts.eval_pool = eval_pool_.get();
                     opts.stage_hook =
                         [this, job](const std::string &stage) {
@@ -560,6 +594,12 @@ ConversionService::drain()
             break;
         sim_now_ = t;
     }
+    // Publish buffered verdicts only now that every job is terminal:
+    // during the drain all jobs answered lookups from their stores'
+    // load-time snapshots, which keeps per-job cache outcomes (and so
+    // reports and traces) independent of host-thread interleaving.
+    for (auto &[dir, store] : stores_)
+        store->flush();
     draining_ = false;
 }
 

@@ -110,6 +110,15 @@ class ConversionService
     void dispatchLocked();
     void preemptLocked(Job &victim);
     void startRunLocked(Job &job);
+    /**
+     * The shared verdict store for a cache directory, opened on first
+     * use (a deterministic event-loop point: stores load their on-disk
+     * snapshot at open, and every job answers lookups from that
+     * snapshot alone, so concurrent jobs' cache outcomes are
+     * independent of host-thread interleaving). Keyed by the exact
+     * directory string a job named.
+     */
+    repair::VerdictStore *storeForLocked(const std::string &dir);
     /** Execute pending host runs; drops the lock while waiting. */
     void executeRunning(std::unique_lock<std::mutex> &lock);
     void completeDueLocked();
@@ -127,6 +136,10 @@ class ConversionService
     int max_in_flight_ = 0;
     /** Minutes consumed per tenant (completed + preempted waste). */
     std::map<std::string, double> consumed_;
+
+    /** One shared verdict store per distinct cache directory; buffered
+     * writes are published once, at the end of drain(). */
+    std::map<std::string, std::unique_ptr<repair::VerdictStore>> stores_;
 
     /** Executes dispatched runs; capacity >= slots so the event loop
      * never blocks on submission while holding mu_. */

@@ -24,6 +24,14 @@
 
 namespace heterogen::style {
 
+/**
+ * Version stamp of the style gate's judging behaviour. Bump whenever a
+ * rule change could alter a StyleReport for an unchanged design:
+ * persisted verdicts (repair/store.h) carry this stamp, and a mismatch
+ * invalidates every stale entry.
+ */
+inline constexpr const char *kStyleCheckerVersion = "sc-1";
+
 /** One style violation. */
 struct StyleIssue
 {

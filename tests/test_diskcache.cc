@@ -1,0 +1,820 @@
+/** @file Persistent verdict-cache tests: DiskCache crash safety,
+ * sharding, versioned invalidation and eviction; VerdictStore exact
+ * round-trips and the never-persist-tool-failures rule; cold/warm
+ * bit-identity of whole pipeline runs; shared-cache conversion-service
+ * determinism at any host thread count (the tsan CI job runs these);
+ * and the cache_dir validation surface. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "core/heterogen.h"
+#include "repair/store.h"
+#include "service/service.h"
+#include "support/diagnostics.h"
+#include "support/diskcache.h"
+#include "support/run_context.h"
+#include "support/strings.h"
+#include "support/trace.h"
+
+namespace heterogen {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty cache directory under the system temp root. */
+std::string
+freshDir(const std::string &tag)
+{
+    static std::atomic<int> seq{0};
+    fs::path p = fs::temp_directory_path() /
+                 ("hg-cache-" + tag + "-" + std::to_string(::getpid()) +
+                  "-" + std::to_string(seq.fetch_add(1)));
+    std::error_code ec;
+    fs::remove_all(p, ec);
+    return p.string();
+}
+
+std::vector<std::string>
+shardFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir, ec)) {
+        std::string name = e.path().filename().string();
+        if (startsWith(name, "shard-"))
+            files.push_back(e.path().string());
+    }
+    return files;
+}
+
+// --- DiskCache: round trips and snapshot visibility ----------------------
+
+TEST(DiskCache, BufferedWritesInvisibleUntilFlushThenServed)
+{
+    std::string dir = freshDir("vis");
+    DiskCacheOptions o;
+    o.dir = dir;
+    DiskCache cache(o);
+    ASSERT_TRUE(cache.enabled());
+
+    cache.put("k1", "v1");
+    // Snapshot visibility: the buffered write is never served.
+    EXPECT_FALSE(cache.find("k1").has_value());
+    EXPECT_EQ(cache.pendingWrites(), 1u);
+    EXPECT_EQ(cache.stats().writes, 1);
+
+    ASSERT_TRUE(cache.flush());
+    // The flush promoted the entry into the snapshot.
+    auto hit = cache.find("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "v1");
+    EXPECT_EQ(cache.pendingWrites(), 0u);
+}
+
+TEST(DiskCache, RoundTripsAcrossReopen)
+{
+    std::string dir = freshDir("reopen");
+    DiskCacheOptions o;
+    o.dir = dir;
+    {
+        DiskCache cache(o);
+        cache.put("key-a", "value-a");
+        cache.put("key-b", "value with\ttab and\nnewline and \\slash");
+        ASSERT_TRUE(cache.flush());
+    }
+    DiskCache cache(o);
+    EXPECT_EQ(cache.stats().loaded, 2);
+    EXPECT_EQ(cache.snapshotSize(), 2u);
+    auto a = cache.find("key-a");
+    auto b = cache.find("key-b");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, "value-a");
+    EXPECT_EQ(*b, "value with\ttab and\nnewline and \\slash");
+    EXPECT_FALSE(cache.find("key-c").has_value());
+    EXPECT_EQ(cache.stats().hits, 2);
+    EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(DiskCache, KeysFanOutAcrossShardFiles)
+{
+    std::string dir = freshDir("fanout");
+    DiskCacheOptions o;
+    o.dir = dir;
+    o.shards = 16;
+    DiskCache cache(o);
+    for (int i = 0; i < 64; ++i)
+        cache.put("key-" + std::to_string(i), "v");
+    ASSERT_TRUE(cache.flush());
+    // 64 hashed keys must spread over several of the 16 shard files.
+    EXPECT_GT(shardFiles(dir).size(), 4u);
+    // Each key's shard assignment is stable and within range.
+    std::string h = DiskCache::keyHash("key-0");
+    EXPECT_EQ(h.size(), 32u);
+    EXPECT_TRUE(startsWith(DiskCache::shardName(h, 16), "shard-"));
+}
+
+TEST(DiskCache, DuplicateInstanceSharingADirConverges)
+{
+    std::string dir = freshDir("share");
+    DiskCacheOptions o;
+    o.dir = dir;
+    DiskCache a(o);
+    DiskCache b(o);
+    a.put("from-a", "1");
+    b.put("from-b", "2");
+    ASSERT_TRUE(a.flush());
+    ASSERT_TRUE(b.flush());
+    DiskCache fresh(o);
+    EXPECT_TRUE(fresh.find("from-a").has_value());
+    EXPECT_TRUE(fresh.find("from-b").has_value());
+}
+
+// --- DiskCache: crash safety ---------------------------------------------
+
+TEST(DiskCache, CorruptAndTruncatedLinesAreSkippedAsMisses)
+{
+    std::string dir = freshDir("corrupt");
+    DiskCacheOptions o;
+    o.dir = dir;
+    o.shards = 1;
+    {
+        DiskCache cache(o);
+        cache.put("good", "value");
+        ASSERT_TRUE(cache.flush());
+    }
+    // Damage the shard: garbage, a checksum-broken copy and a torn
+    // (truncated) record appended after the valid line.
+    std::string shard = shardFiles(dir).at(0);
+    std::string valid;
+    {
+        std::ifstream in(shard);
+        std::getline(in, valid);
+    }
+    {
+        std::ofstream out(shard, std::ios::app);
+        out << "complete garbage, not a record\n";
+        std::string broken = valid;
+        broken.back() = broken.back() == '0' ? '1' : '0';
+        out << broken << "\n";
+        out << valid.substr(0, valid.size() / 2) << "\n";
+    }
+
+    DiskCache cache(o);
+    EXPECT_EQ(cache.stats().loaded, 1);
+    EXPECT_EQ(cache.stats().invalid, 3);
+    EXPECT_TRUE(cache.find("good").has_value());
+    EXPECT_FALSE(cache.find("never-stored").has_value());
+
+    // The next flush rewrites the shard without the garbage.
+    ASSERT_TRUE(cache.flush());
+    DiskCache clean(o);
+    EXPECT_EQ(clean.stats().loaded, 1);
+    EXPECT_EQ(clean.stats().invalid, 0);
+}
+
+TEST(DiskCache, StaleTempFilesAreIgnoredByTheLoader)
+{
+    std::string dir = freshDir("tmpfile");
+    DiskCacheOptions o;
+    o.dir = dir;
+    {
+        DiskCache cache(o);
+        cache.put("k", "v");
+        ASSERT_TRUE(cache.flush());
+    }
+    // A crash mid-publish leaves a temp file behind; it must never be
+    // read as cache content.
+    {
+        std::ofstream out(fs::path(dir) / ".tmp-0-99999-0");
+        out << "half-written partial shard\n";
+    }
+    DiskCache cache(o);
+    EXPECT_EQ(cache.stats().loaded, 1);
+    EXPECT_EQ(cache.stats().invalid, 0);
+}
+
+TEST(DiskCache, VetoedPublishKeepsOldShardAndReportsFailure)
+{
+    std::string dir = freshDir("veto");
+    DiskCacheOptions o;
+    o.dir = dir;
+    o.shards = 1;
+    {
+        DiskCache cache(o);
+        cache.put("old", "published");
+        ASSERT_TRUE(cache.flush());
+    }
+    DiskCacheOptions failing = o;
+    failing.pre_publish_hook = [](const std::string &) { return false; };
+    {
+        DiskCache cache(failing);
+        cache.put("new", "never-published");
+        EXPECT_FALSE(cache.flush());
+        EXPECT_EQ(cache.stats().flush_failures, 1);
+        // The buffer is retained for a retry...
+        EXPECT_EQ(cache.pendingWrites(), 1u);
+        // ...and the failed write was never promoted to the snapshot.
+        EXPECT_FALSE(cache.find("new").has_value());
+        // The destructor's flush fails too (hook still vetoes).
+    }
+    DiskCache fresh(o);
+    EXPECT_TRUE(fresh.find("old").has_value());
+    EXPECT_FALSE(fresh.find("new").has_value());
+    // No temp litter either: the vetoed file was removed.
+    for (const auto &e : fs::directory_iterator(dir))
+        EXPECT_TRUE(startsWith(e.path().filename().string(), "shard-"));
+}
+
+// --- DiskCache: versioning and eviction ----------------------------------
+
+TEST(DiskCache, VersionBumpInvalidatesEveryStaleEntry)
+{
+    std::string dir = freshDir("version");
+    DiskCacheOptions v1;
+    v1.dir = dir;
+    v1.version = "sim-1";
+    {
+        DiskCache cache(v1);
+        for (int i = 0; i < 10; ++i)
+            cache.put("key-" + std::to_string(i), "v");
+        ASSERT_TRUE(cache.flush());
+    }
+    DiskCacheOptions v2 = v1;
+    v2.version = "sim-2";
+    {
+        DiskCache cache(v2);
+        // Every old entry is stale: invisible and counted invalid.
+        EXPECT_EQ(cache.stats().loaded, 0);
+        EXPECT_EQ(cache.stats().invalid, 10);
+        for (int i = 0; i < 10; ++i)
+            EXPECT_FALSE(
+                cache.find("key-" + std::to_string(i)).has_value());
+        // Flushing physically removes the stale population.
+        ASSERT_TRUE(cache.flush());
+    }
+    DiskCache old_again(v1);
+    EXPECT_EQ(old_again.stats().loaded, 0);
+    DiskCache new_again(v2);
+    EXPECT_EQ(new_again.stats().invalid, 0);
+}
+
+TEST(DiskCache, ShardCapEvictsOldestGenerations)
+{
+    std::string dir = freshDir("evict");
+    DiskCacheOptions o;
+    o.dir = dir;
+    o.shards = 1;
+    o.max_entries_per_shard = 3;
+    {
+        DiskCache cache(o);
+        for (int i = 0; i < 8; ++i)
+            cache.put("key-" + std::to_string(i), "v");
+        ASSERT_TRUE(cache.flush());
+        EXPECT_EQ(cache.stats().evictions, 5);
+    }
+    DiskCache cache(o);
+    EXPECT_EQ(cache.stats().loaded, 3);
+    // The most recently written keys survived.
+    EXPECT_TRUE(cache.find("key-7").has_value());
+    EXPECT_FALSE(cache.find("key-0").has_value());
+}
+
+// --- DiskCache: concurrency (tsan hunts races here) ----------------------
+
+TEST(DiskCacheConcurrency, ParallelFindPutFlushOnSharedDir)
+{
+    std::string dir = freshDir("hammer");
+    DiskCacheOptions o;
+    o.dir = dir;
+    o.shards = 4;
+    {
+        DiskCache seedcache(o);
+        for (int i = 0; i < 32; ++i)
+            seedcache.put("seed-" + std::to_string(i), "v");
+        ASSERT_TRUE(seedcache.flush());
+    }
+    DiskCache a(o);
+    DiskCache b(o);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            DiskCache &cache = t % 2 ? a : b;
+            for (int i = 0; i < 200; ++i) {
+                std::string key =
+                    (i % 3 == 0)
+                        ? "seed-" + std::to_string(i % 32)
+                        : "t" + std::to_string(t) + "-" +
+                              std::to_string(i);
+                (void)cache.find(key);
+                cache.put(key, "w");
+                if (i % 64 == 63)
+                    cache.flush();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    ASSERT_TRUE(a.flush());
+    ASSERT_TRUE(b.flush());
+    DiskCache fresh(o);
+    EXPECT_GE(fresh.snapshotSize(), 32u);
+}
+
+// --- VerdictStore: typed round trips -------------------------------------
+
+TEST(VerdictStore, CompileVerdictRoundTripsBitExactly)
+{
+    std::string dir = freshDir("vs-compile");
+    repair::VerdictStoreOptions o;
+    o.dir = dir;
+    hls::CompileResult r;
+    r.ok = false;
+    r.synth_minutes = 12.345678901234567;
+    r.loc = 42;
+    r.resources = {1000, 2000, 8, 1 << 20, 3};
+    hls::HlsError e;
+    e.code = "XFORM 202-876";
+    e.message = "Synthesizability check failed: recursive call";
+    e.category = hls::ErrorCategory::LoopParallelization;
+    e.symbol = "acc";
+    e.loc = {17, 4};
+    r.errors.push_back(e);
+    {
+        repair::VerdictStore store(o);
+        RunContext ctx;
+        store.storeCompile(&ctx, "fp-1", r);
+        EXPECT_TRUE(store.flush());
+        EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.writes"),
+                  1);
+    }
+    repair::VerdictStore store(o);
+    RunContext ctx;
+    auto hit = store.findCompile(&ctx, "fp-1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ok, r.ok);
+    EXPECT_FALSE(hit->tool_failure);
+    EXPECT_EQ(hit->synth_minutes, r.synth_minutes); // bit-exact
+    EXPECT_EQ(hit->loc, r.loc);
+    EXPECT_EQ(hit->resources.luts, r.resources.luts);
+    EXPECT_EQ(hit->resources.bram_bits, r.resources.bram_bits);
+    EXPECT_EQ(hit->resources.memory_banks, r.resources.memory_banks);
+    ASSERT_EQ(hit->errors.size(), 1u);
+    EXPECT_EQ(hit->errors[0].code, e.code);
+    EXPECT_EQ(hit->errors[0].message, e.message);
+    EXPECT_EQ(hit->errors[0].category, e.category);
+    EXPECT_EQ(hit->errors[0].symbol, e.symbol);
+    EXPECT_EQ(hit->errors[0].loc.line, 17);
+    EXPECT_EQ(hit->errors[0].loc.column, 4);
+    EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.hits"), 1);
+    EXPECT_FALSE(store.findCompile(&ctx, "fp-2").has_value());
+    EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.misses"), 1);
+    EXPECT_GT(store.stats().minutes_saved, 12.0);
+}
+
+TEST(VerdictStore, DiffTestAndStyleVerdictsRoundTrip)
+{
+    std::string dir = freshDir("vs-dt");
+    repair::VerdictStoreOptions o;
+    o.dir = dir;
+    repair::DiffTestResult dt;
+    dt.total = 16;
+    dt.identical = 14;
+    dt.failing = {3, 11};
+    dt.cpu_millis = 1.0625;
+    dt.fpga_millis = 0.4375;
+    dt.sim_minutes = 2.7182818284590451;
+    style::StyleReport sr;
+    sr.check_minutes = 0.05;
+    sr.issues.push_back({"pointer arithmetic is not synthesizable",
+                         SourceLoc{9, 2}});
+    {
+        repair::VerdictStore store(o);
+        store.storeDiffTest(nullptr, "dt-key", dt);
+        store.storeStyle(nullptr, "int kernel() { return 0; }", sr);
+        EXPECT_TRUE(store.flush());
+    }
+    repair::VerdictStore store(o);
+    auto dhit = store.findDiffTest(nullptr, "dt-key");
+    ASSERT_TRUE(dhit.has_value());
+    EXPECT_EQ(dhit->total, 16);
+    EXPECT_EQ(dhit->identical, 14);
+    EXPECT_EQ(dhit->failing, (std::vector<int>{3, 11}));
+    EXPECT_EQ(dhit->sim_minutes, dt.sim_minutes); // bit-exact
+    EXPECT_FALSE(dhit->tool_failure);
+    auto shit = store.findStyle(nullptr, "int kernel() { return 0; }");
+    ASSERT_TRUE(shit.has_value());
+    ASSERT_EQ(shit->issues.size(), 1u);
+    EXPECT_EQ(shit->issues[0].message, sr.issues[0].message);
+    EXPECT_EQ(shit->issues[0].loc.line, 9);
+    EXPECT_EQ(shit->check_minutes, sr.check_minutes);
+}
+
+TEST(VerdictStore, ToolFailuresAreNeverPersisted)
+{
+    std::string dir = freshDir("vs-fail");
+    repair::VerdictStoreOptions o;
+    o.dir = dir;
+    {
+        repair::VerdictStore store(o);
+        hls::CompileResult broken;
+        broken.tool_failure = true;
+        store.storeCompile(nullptr, "fp", broken);
+        repair::DiffTestResult dt;
+        dt.tool_failure = true;
+        store.storeDiffTest(nullptr, "dt", dt);
+        EXPECT_EQ(store.stats().writes, 0);
+        EXPECT_EQ(store.diskStats().writes, 0);
+        store.flush();
+    }
+    repair::VerdictStore store(o);
+    EXPECT_EQ(store.snapshotSize(), 0u);
+    EXPECT_FALSE(store.findCompile(nullptr, "fp").has_value());
+    EXPECT_FALSE(store.findDiffTest(nullptr, "dt").has_value());
+}
+
+TEST(VerdictStore, ToolchainVersionBumpInvalidatesVerdicts)
+{
+    std::string dir = freshDir("vs-version");
+    repair::VerdictStoreOptions current;
+    current.dir = dir;
+    {
+        repair::VerdictStore store(current);
+        hls::CompileResult ok;
+        ok.ok = true;
+        store.storeCompile(nullptr, "fp", ok);
+        EXPECT_TRUE(store.flush());
+        EXPECT_EQ(store.version(), repair::defaultToolchainVersion());
+    }
+    repair::VerdictStoreOptions bumped = current;
+    bumped.version = "hgc1;sim=2023.1-sim2;style=sc-1";
+    repair::VerdictStore store(bumped);
+    EXPECT_EQ(store.diskStats().invalid, 1);
+    EXPECT_EQ(store.snapshotSize(), 0u);
+    EXPECT_FALSE(store.findCompile(nullptr, "fp").has_value());
+}
+
+// --- cache_dir validation surface ----------------------------------------
+
+TEST(CacheDirValidation, DiagnosticsCarryTheCachePrefix)
+{
+    EXPECT_EQ(repair::cacheDirError(freshDir("probe")), "");
+    std::string blank_err = repair::cacheDirError("   ");
+    EXPECT_TRUE(startsWith(blank_err, "cache:")) << blank_err;
+
+    // A path whose parent is a regular file cannot become a directory.
+    std::string file = freshDir("as-file");
+    {
+        std::ofstream out(file);
+        out << "x";
+    }
+    std::string err = repair::cacheDirError(file + "/nested");
+    EXPECT_TRUE(startsWith(err, "cache:")) << err;
+}
+
+TEST(CacheDirValidation, ValidateOptionsRejectsUnusableCacheDir)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.cache_dir = "   ";
+    try {
+        core::validateOptions(opts);
+        FAIL() << "blank cache_dir must be rejected";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("cache:"),
+                  std::string::npos)
+            << e.what();
+    }
+    opts.cache_dir.clear();
+    opts.search.cache_dir = "  \t ";
+    EXPECT_THROW(core::validateOptions(opts), FatalError);
+    opts.search.cache_dir = freshDir("valid");
+    core::validateOptions(opts); // now fine
+}
+
+TEST(CacheDirValidation, JobSpecRejectsUnusableCacheDirAtSubmit)
+{
+    service::ConversionService svc;
+    service::JobSpec spec;
+    spec.tenant = "t";
+    spec.source = "int kernel(int x) { return x; }";
+    spec.options.kernel = "kernel";
+    spec.cache_dir = "   ";
+    EXPECT_THROW(svc.submit(spec), FatalError);
+    spec.cache_dir.clear();
+    svc.submit(std::move(spec));
+    svc.drain();
+}
+
+TEST(CacheDirValidation, EnvironmentKnobFeedsTheDefault)
+{
+    std::string dir = freshDir("env");
+    ASSERT_EQ(setenv("HETEROGEN_CACHE_DIR", dir.c_str(), 1), 0);
+    EXPECT_EQ(repair::defaultCacheDir(), dir);
+    ASSERT_EQ(unsetenv("HETEROGEN_CACHE_DIR"), 0);
+    EXPECT_EQ(repair::defaultCacheDir(), "");
+}
+
+// --- warm-start repair: end-to-end ---------------------------------------
+
+/** A subject whose repair must backtrack (shared-buffer dataflow fix),
+ * producing memo traffic and several full HLS invocations. */
+const char *kBacktracking = R"(
+    void bump(int data[16]) {
+        for (int i = 0; i < 16; i++) { data[i] = data[i] + 1; }
+    }
+    int kernel(int seedv) {
+        #pragma HLS dataflow
+        int data[16];
+        for (int i = 0; i < 16; i++) { data[i] = seedv + i; }
+        bump(data);
+        bump(data);
+        int acc = 0;
+        for (int i = 0; i < 16; i++) { acc += data[i]; }
+        return acc;
+    }
+)";
+
+core::HeteroGenOptions
+cachedOptions(const std::string &cache_dir)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "kernel";
+    opts.fuzz.max_executions = 400;
+    opts.fuzz.min_suite_size = 12;
+    opts.search.difftest_sample = 10;
+    opts.search.cache_dir = cache_dir;
+    return opts;
+}
+
+struct PipelineRun
+{
+    core::HeteroGenReport report;
+    int64_t hls_compiles = 0;
+    int64_t style_checks_run = 0;
+    int64_t disk_hits = 0;
+    int64_t disk_writes = 0;
+};
+
+PipelineRun
+runCached(const core::HeteroGenOptions &opts)
+{
+    core::HeteroGen engine(kBacktracking);
+    RunContext ctx;
+    PipelineRun run;
+    run.report = engine.run(ctx, opts);
+    run.hls_compiles = ctx.trace().counterTotal("hls.compiles");
+    run.style_checks_run = ctx.trace().counterTotal("style.checks");
+    run.disk_hits = ctx.trace().counterTotal("repair.diskcache.hits");
+    run.disk_writes =
+        ctx.trace().counterTotal("repair.diskcache.writes");
+    return run;
+}
+
+/** Bit-identity of everything a cold and warm run must agree on. */
+void
+expectIdenticalReports(const core::HeteroGenReport &a,
+                       const core::HeteroGenReport &b)
+{
+    EXPECT_EQ(a.hls_source, b.hls_source);
+    EXPECT_EQ(a.search.hls_compatible, b.search.hls_compatible);
+    EXPECT_EQ(a.search.behavior_preserved, b.search.behavior_preserved);
+    EXPECT_EQ(a.search.pass_ratio, b.search.pass_ratio);
+    EXPECT_EQ(a.search.sim_minutes, b.search.sim_minutes);
+    EXPECT_EQ(a.search.minutes_to_success, b.search.minutes_to_success);
+    EXPECT_EQ(a.search.iterations, b.search.iterations);
+    EXPECT_EQ(a.search.full_hls_invocations,
+              b.search.full_hls_invocations);
+    EXPECT_EQ(a.search.style_checks, b.search.style_checks);
+    EXPECT_EQ(a.search.style_rejections, b.search.style_rejections);
+    EXPECT_EQ(a.search.applied_order, b.search.applied_order);
+    EXPECT_EQ(a.search.memo.compile_hits, b.search.memo.compile_hits);
+    EXPECT_EQ(a.search.memo.compile_misses,
+              b.search.memo.compile_misses);
+    EXPECT_EQ(a.search.memo.difftest_hits, b.search.memo.difftest_hits);
+    EXPECT_EQ(a.search.memo.difftest_misses,
+              b.search.memo.difftest_misses);
+    EXPECT_EQ(a.total_minutes, b.total_minutes);
+    ASSERT_EQ(a.search.trace.size(), b.search.trace.size());
+    for (size_t i = 0; i < a.search.trace.size(); ++i) {
+        EXPECT_EQ(a.search.trace[i].iteration,
+                  b.search.trace[i].iteration);
+        EXPECT_EQ(a.search.trace[i].action, b.search.trace[i].action);
+        // Bit-equal simulated clock at every recorded step.
+        EXPECT_EQ(a.search.trace[i].minutes_after,
+                  b.search.trace[i].minutes_after);
+    }
+}
+
+TEST(WarmStart, WarmRunsAreBitIdenticalAndSkipToolchainWork)
+{
+    std::string dir = freshDir("warm");
+    PipelineRun cold = runCached(cachedOptions(dir));
+    ASSERT_TRUE(cold.report.ok());
+    EXPECT_GT(cold.disk_writes, 0);
+    EXPECT_EQ(cold.disk_hits, 0);
+    EXPECT_GT(cold.hls_compiles, 0);
+
+    PipelineRun warm = runCached(cachedOptions(dir));
+    PipelineRun warm2 = runCached(cachedOptions(dir));
+    ASSERT_TRUE(warm.report.ok());
+    expectIdenticalReports(cold.report, warm.report);
+    expectIdenticalReports(warm.report, warm2.report);
+
+    // The warm run answered compile verdicts from disk instead of
+    // invoking the simulated toolchain.
+    EXPECT_GT(warm.disk_hits, 0);
+    EXPECT_LT(warm.hls_compiles, cold.hls_compiles);
+    EXPECT_EQ(warm.hls_compiles, 0);
+    EXPECT_EQ(warm2.hls_compiles, warm.hls_compiles);
+    EXPECT_EQ(warm2.disk_hits, warm.disk_hits);
+}
+
+TEST(WarmStart, ToolchainVersionBumpRunsColdAgain)
+{
+    std::string dir = freshDir("warm-version");
+    PipelineRun cold = runCached(cachedOptions(dir));
+    ASSERT_TRUE(cold.report.ok());
+
+    // How many entries the cold run actually persisted. (disk_writes
+    // over-counts: a re-store of the same verdict after a revert is
+    // counted, then deduplicated by the write buffer.)
+    int64_t persisted = 0;
+    {
+        repair::VerdictStoreOptions probe;
+        probe.dir = dir;
+        persisted =
+            static_cast<int64_t>(repair::VerdictStore(probe)
+                                     .snapshotSize());
+    }
+    ASSERT_GT(persisted, 0);
+
+    // Simulate a simulator upgrade: a store stamped with a different
+    // toolchain version sees every persisted verdict as stale.
+    repair::VerdictStoreOptions vopts;
+    vopts.dir = dir;
+    vopts.version = "hgc1;sim=2099.9-simX;style=sc-1";
+    repair::VerdictStore bumped(vopts);
+    EXPECT_EQ(bumped.snapshotSize(), 0u);
+    EXPECT_EQ(bumped.diskStats().invalid, persisted);
+
+    core::HeteroGenOptions opts = cachedOptions("");
+    opts.search.verdict_store = &bumped;
+    PipelineRun rerun = runCached(opts);
+    expectIdenticalReports(cold.report, rerun.report);
+    // No warm-start: every compile was fresh work again.
+    EXPECT_EQ(rerun.hls_compiles, cold.hls_compiles);
+
+    // Flushing the bumped store scrubs the stale population and
+    // publishes the rerun's verdicts: reopening under the bumped
+    // version sees a clean, warm cache.
+    ASSERT_TRUE(bumped.flush());
+    repair::VerdictStore again(vopts);
+    EXPECT_EQ(again.diskStats().invalid, 0);
+    EXPECT_GT(again.snapshotSize(), 0u);
+}
+
+TEST(WarmStart, ArmedFaultPlanBypassesTheDiskEntirely)
+{
+    std::string dir = freshDir("faults");
+    core::HeteroGenOptions opts = cachedOptions(dir);
+    opts.faults = FaultPlan::parse("hls.compile:1.0:transient", 11);
+    opts.retry = RetryPolicy::none();
+    core::HeteroGen engine(kBacktracking);
+    RunContext ctx;
+    auto report = engine.run(ctx, opts);
+    EXPECT_TRUE(report.degraded());
+    // No verdict — and in particular no tool failure — reached disk.
+    EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.writes"), 0);
+    EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.hits"), 0);
+    EXPECT_TRUE(shardFiles(dir).empty());
+}
+
+// --- shared cache under the conversion service ---------------------------
+
+const char *kScaleSource = R"(
+int scale(int x, int y) {
+    long double acc = 0.299L * x + 0.587L * y;
+    long double bias = acc * 0.125L + 1.0L;
+    return bias;
+}
+)";
+
+core::HeteroGenOptions
+fastServiceOptions(uint64_t seed)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = "scale";
+    opts.fuzz.rng_seed = seed;
+    opts.fuzz.max_executions = 80;
+    opts.fuzz.mutations_per_input = 4;
+    opts.fuzz.min_suite_size = 8;
+    opts.fuzz.budget_minutes = 30;
+    opts.search.budget_minutes = 60;
+    opts.search.max_iterations = 40;
+    opts.search.difftest_sample = 4;
+    opts.search.rng_seed = seed * 31 + 7;
+    opts.engine = "bytecode";
+    return opts;
+}
+
+struct ServiceRecord
+{
+    std::vector<std::string> sources;
+    std::vector<std::string> traces;
+    std::vector<double> minutes;
+    int64_t hls_compiles = 0;
+    int64_t disk_hits = 0;
+};
+
+ServiceRecord
+drainWithCache(const std::string &dir, int host_threads)
+{
+    service::ServiceOptions so;
+    so.slots = 2;
+    so.host_threads = host_threads;
+    so.eval_threads = 2;
+    service::ConversionService svc(so);
+    std::vector<int> ids;
+    for (int i = 0; i < 4; ++i) {
+        service::JobSpec spec;
+        spec.tenant = i % 2 ? "alpha" : "beta";
+        spec.arrival_minutes = 0.3 * i;
+        spec.source = kScaleSource;
+        // Two seed groups: jobs 0/2 and 1/3 are exact repeats, so even
+        // the cold drain shares verdicts via the snapshot-plus-flush
+        // discipline (never mid-drain).
+        spec.options = fastServiceOptions(3 + (i % 2));
+        spec.cache_dir = dir;
+        ids.push_back(svc.submit(std::move(spec)));
+    }
+    svc.drain();
+    ServiceRecord rec;
+    for (int id : ids) {
+        const service::JobOutcome &out = svc.collect(id);
+        EXPECT_TRUE(out.has_report);
+        rec.sources.push_back(out.report.hls_source);
+        rec.traces.push_back(out.trace_json);
+        rec.minutes.push_back(out.report.total_minutes);
+        auto span = parseTraceJson(out.trace_json);
+        rec.hls_compiles += span->counterTotal("hls.compiles");
+        rec.disk_hits +=
+            span->counterTotal("repair.diskcache.hits");
+    }
+    return rec;
+}
+
+TEST(ServiceCache, WarmDrainSkipsToolchainWorkWithIdenticalReports)
+{
+    std::string dir = freshDir("svc-warm");
+    ServiceRecord cold = drainWithCache(dir, 2);
+    EXPECT_EQ(cold.disk_hits, 0);
+    EXPECT_GT(cold.hls_compiles, 0);
+
+    ServiceRecord warm = drainWithCache(dir, 2);
+    EXPECT_EQ(warm.sources, cold.sources);
+    EXPECT_EQ(warm.minutes, cold.minutes);
+    EXPECT_GT(warm.disk_hits, 0);
+    EXPECT_LT(warm.hls_compiles, cold.hls_compiles);
+
+    ServiceRecord warm2 = drainWithCache(dir, 2);
+    EXPECT_EQ(warm2.sources, warm.sources);
+    EXPECT_EQ(warm2.minutes, warm.minutes);
+    EXPECT_EQ(warm2.traces, warm.traces);
+}
+
+TEST(ServiceCache, SharedCacheOutcomesAreHostThreadInvariant)
+{
+    // Cold drains on fresh directories: every thread count sees the
+    // same (empty) snapshot, so everything must match bit for bit.
+    ServiceRecord c1 = drainWithCache(freshDir("svc-c1"), 1);
+    ServiceRecord c2 = drainWithCache(freshDir("svc-c2"), 2);
+    ServiceRecord c8 = drainWithCache(freshDir("svc-c8"), 8);
+    EXPECT_EQ(c1.sources, c2.sources);
+    EXPECT_EQ(c1.traces, c2.traces);
+    EXPECT_EQ(c1.minutes, c2.minutes);
+    EXPECT_EQ(c1.sources, c8.sources);
+    EXPECT_EQ(c1.traces, c8.traces);
+
+    // Warm drains over one populated directory: the snapshot is the
+    // same for every replay, so thread count still cannot show.
+    std::string dir = freshDir("svc-warm-threads");
+    drainWithCache(dir, 2);
+    ServiceRecord w1 = drainWithCache(dir, 1);
+    ServiceRecord w2 = drainWithCache(dir, 2);
+    ServiceRecord w8 = drainWithCache(dir, 8);
+    EXPECT_EQ(w1.sources, w2.sources);
+    EXPECT_EQ(w1.traces, w2.traces);
+    EXPECT_EQ(w1.minutes, w2.minutes);
+    EXPECT_EQ(w1.sources, w8.sources);
+    EXPECT_EQ(w1.traces, w8.traces);
+}
+
+} // namespace
+} // namespace heterogen

@@ -299,6 +299,48 @@ TEST(Interp, ReadEmptyStreamTraps)
     EXPECT_NE(r.trap.find("empty stream"), std::string::npos);
 }
 
+TEST(Interp, OversizedMallocTraps)
+{
+    // A fuzzed size argument must trap at the heap limit instead of
+    // exhausting host memory; both engines must agree on the trap.
+    RunOptions opts;
+    opts.engine = EngineKind::Differential;
+    auto r = runSrc(R"(
+        int f(int n) {
+            int *p = (int*)malloc(sizeof(int) * n);
+            p[0] = n;
+            int v = p[0];
+            free(p);
+            return v;
+        }
+    )",
+                    "f", {KernelArg::ofInt(2000000000)}, opts);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.trap.find("allocation exceeds interpreter heap limit"),
+              std::string::npos);
+}
+
+TEST(Interp, OversizedStructMallocTraps)
+{
+    RunOptions opts;
+    opts.engine = EngineKind::Differential;
+    auto r = runSrc(R"(
+        struct Pair { int a; int b; };
+        int f(int n) {
+            struct Pair *p =
+                (struct Pair*)malloc(sizeof(struct Pair) * n);
+            p[0].a = n;
+            int v = p[0].a;
+            free(p);
+            return v;
+        }
+    )",
+                    "f", {KernelArg::ofInt(2000000000)}, opts);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.trap.find("allocation exceeds interpreter heap limit"),
+              std::string::npos);
+}
+
 TEST(Interp, VlaAllocation)
 {
     auto r = runSrc(R"(
