@@ -48,6 +48,11 @@ validateOptions(const HeteroGenOptions &options)
     if (!interp::parseEngineName(options.engine, &parsed_engine))
         fatal("HeteroGen: unknown engine '", options.engine,
               "' (expected tree_walk, bytecode or differential)");
+    if (options.config.stream_depth < hls::kMinStreamDepth ||
+        options.config.stream_depth > hls::kMaxStreamDepth)
+        fatal("HeteroGen: config.stream_depth must be in [",
+              hls::kMinStreamDepth, ", ", hls::kMaxStreamDepth,
+              "], got ", options.config.stream_depth);
     if (!repair::parseProposerName(options.proposer))
         fatal("HeteroGen: unknown proposer '", options.proposer,
               "' (expected template, corpus or mixed)");

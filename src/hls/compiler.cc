@@ -40,7 +40,7 @@ HlsToolchain::compile(const TranslationUnit &tu)
     if (!result.errors.empty())
         return result;
 
-    result.resources = estimateResources(tu);
+    result.resources = estimateResources(tu, &config_);
     const DeviceSpec *device = findDevice(config_.device);
     if (device && !result.resources.fits(*device)) {
         HlsError e;

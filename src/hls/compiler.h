@@ -34,7 +34,7 @@ namespace heterogen::hls {
  * outcome for an unchanged design: persisted verdicts (repair/store.h)
  * carry this stamp, and a mismatch invalidates every stale entry.
  */
-inline constexpr const char *kSimulatorVersion = "2022.1-sim1";
+inline constexpr const char *kSimulatorVersion = "2022.1-sim2";
 
 /** Result of one full synthesis attempt. */
 struct CompileResult

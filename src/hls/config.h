@@ -27,6 +27,17 @@ const std::vector<DeviceSpec> &knownDevices();
 /** Lookup by name; nullptr if unknown. */
 const DeviceSpec *findDevice(const std::string &name);
 
+/** Hard bounds on a FIFO depth the simulated toolchain accepts. */
+constexpr long kMinStreamDepth = 1;
+constexpr long kMaxStreamDepth = 1024;
+
+/**
+ * Process default FIFO depth: the HETEROGEN_STREAM_DEPTH environment
+ * variable when it parses to a value in [kMinStreamDepth,
+ * kMaxStreamDepth], else 2 (out-of-range values keep the default).
+ */
+long defaultStreamDepth();
+
 /** Configuration handed to the simulated HLS toolchain. */
 struct HlsConfig
 {
@@ -36,6 +47,14 @@ struct HlsConfig
     double clock_mhz = 250.0;
     /** Target part name. */
     std::string device = "xcvu9p";
+    /**
+     * Default FIFO depth for `hls::stream` channels that carry no
+     * explicit `#pragma HLS stream ... depth=N` directive. Part of the
+     * candidate fingerprint (two candidates differing only here must
+     * never share a cached verdict). Valid range is [kMinStreamDepth,
+     * kMaxStreamDepth] — validated by core::validateOptions.
+     */
+    long stream_depth = defaultStreamDepth();
 
     static HlsConfig
     forTop(std::string top)

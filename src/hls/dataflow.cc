@@ -1,0 +1,355 @@
+#include "hls/dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cir/walk.h"
+#include "hls/synth_check.h"
+
+namespace heterogen::hls {
+
+using namespace cir;
+
+namespace {
+
+/** Memory ports per (unpartitioned) array bank — mirrors fpga_model. */
+constexpr long kStreamBasePorts = 2;
+
+/**
+ * Largest enclosing-trip product at which `param`.`method`() is invoked
+ * anywhere under `block`. Loops without a static trip count multiply
+ * by 1 (conservative: the hang detector under-requires rather than
+ * inventing depths).
+ */
+void
+walkTokens(const Block &block, long mult, const std::string &param,
+           const char *method, long &out)
+{
+    for (const auto &s : block.stmts) {
+        long inner = mult;
+        if (s->kind() == StmtKind::For) {
+            const auto &loop = static_cast<const ForStmt &>(*s);
+            if (auto trip = staticTripCount(loop))
+                inner = mult * std::max(1L, *trip);
+            if (loop.body)
+                walkTokens(*loop.body, inner, param, method, out);
+            continue;
+        }
+        if (s->kind() == StmtKind::Block) {
+            walkTokens(static_cast<const Block &>(*s), mult, param,
+                       method, out);
+            continue;
+        }
+        if (s->kind() == StmtKind::If) {
+            const auto &i = static_cast<const IfStmt &>(*s);
+            if (i.then_block)
+                walkTokens(*i.then_block, mult, param, method, out);
+            if (i.else_block)
+                walkTokens(*i.else_block, mult, param, method, out);
+            continue;
+        }
+        if (s->kind() == StmtKind::While) {
+            const auto &w = static_cast<const WhileStmt &>(*s);
+            if (w.body)
+                walkTokens(*w.body, mult, param, method, out);
+            continue;
+        }
+        forEachExpr(*s, [&](const Expr &e) {
+            if (e.kind() != ExprKind::MethodCall)
+                return;
+            const auto &m = static_cast<const MethodCall &>(e);
+            if (m.method != method || !m.base ||
+                m.base->kind() != ExprKind::Ident ||
+                static_cast<const Ident &>(*m.base).name != param) {
+                return;
+            }
+            out = std::max(out, mult);
+        });
+    }
+}
+
+/**
+ * Initiation interval of one process: the callee's pipeline pragma II,
+ * floored by the worst array-bank conflict — an array indexed A times
+ * per iteration on kStreamBasePorts * partition_factor ports cannot
+ * start a new iteration more often than every ceil(A / ports) cycles.
+ */
+long
+processII(const FunctionDecl &callee)
+{
+    long ii = 1;
+    std::map<std::string, long> partition; // array name -> factor
+    std::set<std::string> arrays;
+    for (const auto &p : callee.params) {
+        if (p.type && p.type->isArray())
+            arrays.insert(p.name);
+    }
+    if (callee.body) {
+        forEachStmt(static_cast<const Block &>(*callee.body),
+                    [&](const Stmt &s) {
+                        if (s.kind() == StmtKind::Decl) {
+                            const auto &d =
+                                static_cast<const DeclStmt &>(s);
+                            if (d.type && d.type->isArray())
+                                arrays.insert(d.name);
+                        } else if (s.kind() == StmtKind::Pragma) {
+                            const auto &p =
+                                static_cast<const PragmaStmt &>(s);
+                            if (p.info.kind == PragmaKind::Pipeline) {
+                                ii = std::max(
+                                    ii, p.info.paramInt("ii", 1));
+                            } else if (p.info.kind ==
+                                       PragmaKind::ArrayPartition) {
+                                const std::string var =
+                                    p.info.paramStr("variable");
+                                long f = p.info.paramInt("factor", 1);
+                                if (!var.empty())
+                                    partition[var] = std::max(
+                                        partition[var], f);
+                            }
+                        }
+                    });
+        std::map<std::string, long> accesses;
+        forEachExpr(static_cast<const Block &>(*callee.body),
+                    [&](const Expr &e) {
+                        if (e.kind() != ExprKind::Index)
+                            return;
+                        const auto &ix = static_cast<const Index &>(e);
+                        if (!ix.base ||
+                            ix.base->kind() != ExprKind::Ident)
+                            return;
+                        const std::string &name =
+                            static_cast<const Ident &>(*ix.base).name;
+                        if (arrays.count(name))
+                            accesses[name]++;
+                    });
+        for (const auto &[name, count] : accesses) {
+            long factor = 1;
+            auto it = partition.find(name);
+            if (it != partition.end())
+                factor = std::max(1L, it->second);
+            long ports = kStreamBasePorts * factor;
+            ii = std::max(ii, (count + ports - 1) / ports);
+        }
+    }
+    return ii;
+}
+
+void
+forEachExprConst(const Block &block,
+                 const std::function<void(const Expr &)> &fn)
+{
+    forEachExpr(static_cast<const Stmt &>(block), fn);
+}
+
+} // namespace
+
+DataflowTopology
+extractTopology(const TranslationUnit &tu, const FunctionDecl &fn,
+                const HlsConfig &config)
+{
+    DataflowTopology topo;
+    if (!fn.body)
+        return topo;
+
+    // Region-local declarations: stream channels and candidate shared
+    // arrays; explicit stream pragmas override the configured depth.
+    std::map<std::string, const DeclStmt *> streams;
+    std::map<std::string, const DeclStmt *> arrays;
+    std::map<std::string, long> pragma_depth;
+    forEachStmt(static_cast<const Block &>(*fn.body), [&](const Stmt &s) {
+        if (s.kind() == StmtKind::Decl) {
+            const auto &d = static_cast<const DeclStmt &>(s);
+            if (d.type && d.type->isStream())
+                streams[d.name] = &d;
+            else if (d.type && d.type->isArray())
+                arrays[d.name] = &d;
+        } else if (s.kind() == StmtKind::Pragma) {
+            const auto &p = static_cast<const PragmaStmt &>(s);
+            if (p.info.kind == PragmaKind::StreamDepth) {
+                const std::string var = p.info.paramStr("variable");
+                if (!var.empty())
+                    pragma_depth[var] =
+                        std::max(1L, p.info.paramInt("depth", 1));
+            }
+        }
+    });
+
+    // Processes: call statements, in program (pre-order) region order.
+    std::map<std::string, int> channel_index;
+    std::map<std::string, int> array_uses;
+    forEachExprConst(*fn.body, [&](const Expr &e) {
+        if (e.kind() != ExprKind::Call)
+            return;
+        const auto &call = static_cast<const Call &>(e);
+        const FunctionDecl *callee = tu.findFunction(call.callee);
+        if (!callee)
+            return;
+        StreamProcess proc;
+        proc.callee = call.callee;
+        proc.order = static_cast<int>(topo.processes.size());
+        proc.ii = processII(*callee);
+        int proc_index = proc.order;
+        for (size_t i = 0; i < call.args.size(); ++i) {
+            if (call.args[i]->kind() != ExprKind::Ident)
+                continue;
+            const std::string &name =
+                static_cast<const Ident &>(*call.args[i]).name;
+            if (arrays.count(name)) {
+                array_uses[name]++;
+                continue;
+            }
+            auto sit = streams.find(name);
+            if (sit == streams.end() || i >= callee->params.size())
+                continue;
+            const std::string &param = callee->params[i].name;
+            // Channel record, created on first connection.
+            auto cit = channel_index.find(name);
+            if (cit == channel_index.end()) {
+                StreamChannel ch;
+                ch.name = name;
+                ch.loc = sit->second->loc;
+                auto dit = pragma_depth.find(name);
+                ch.depth = dit != pragma_depth.end()
+                               ? dit->second
+                               : std::max(1L, config.stream_depth);
+                cit = channel_index
+                          .emplace(name,
+                                   static_cast<int>(
+                                       topo.channels.size()))
+                          .first;
+                topo.channels.push_back(std::move(ch));
+            }
+            StreamChannel &ch = topo.channels[cit->second];
+            long reads = 0, writes = 0;
+            if (callee->body) {
+                walkTokens(*callee->body, 1, param, "read", reads);
+                walkTokens(*callee->body, 1, param, "write", writes);
+            }
+            if (writes > 0) {
+                proc.writes.push_back(name);
+                ch.writer = proc_index;
+                ch.tokens = std::max(ch.tokens, writes);
+            }
+            if (reads > 0) {
+                proc.reads.push_back(name);
+                ch.reader = proc_index;
+            }
+        }
+        topo.processes.push_back(std::move(proc));
+    });
+
+    for (const auto &[name, uses] : array_uses) {
+        if (uses >= 2)
+            topo.shared_arrays.push_back(name);
+    }
+    return topo;
+}
+
+long
+requiredDepth(const DataflowTopology &topo, const StreamChannel &ch)
+{
+    if (ch.writer < 0 || ch.reader < 0)
+        return 1;
+    long required = 1;
+    // Producer skew: a consumer joining several producers cannot start
+    // until its latest producer does, so channels from earlier
+    // producers must buffer their full token count.
+    for (const auto &other : topo.channels) {
+        if (&other == &ch || other.reader != ch.reader ||
+            other.writer < 0 || other.writer == ch.writer) {
+            continue;
+        }
+        if (topo.processes[ch.writer].order <
+            topo.processes[other.writer].order) {
+            required = std::max(required, ch.tokens);
+        }
+    }
+    // Rate mismatch: a reader slower than its writer accumulates
+    // backlog the FIFO must absorb before the schedule serializes.
+    long ii_w = topo.processes[ch.writer].ii;
+    long ii_r = topo.processes[ch.reader].ii;
+    if (ii_r > ii_w && ch.tokens > 0) {
+        long backlog =
+            (ch.tokens * (ii_r - ii_w) + ii_r - 1) / ii_r;
+        required = std::max(required, backlog);
+    }
+    return required;
+}
+
+std::vector<HlsError>
+detectHangs(const DataflowTopology &topo)
+{
+    std::vector<HlsError> errors;
+    if (topo.channels.empty())
+        return errors;
+
+    for (const auto &name : topo.shared_arrays)
+        errors.push_back(diag::unserializedDataflow(name, SourceLoc{}));
+
+    // Channel cycles: reader-reaches-writer through channel edges means
+    // the network can never drain at any finite depth.
+    auto reaches = [&](int from, int to) {
+        std::set<int> seen;
+        std::vector<int> work{from};
+        while (!work.empty()) {
+            int cur = work.back();
+            work.pop_back();
+            if (cur == to)
+                return true;
+            if (!seen.insert(cur).second)
+                continue;
+            for (const auto &ch : topo.channels) {
+                if (ch.writer == cur && ch.reader >= 0)
+                    work.push_back(ch.reader);
+            }
+        }
+        return false;
+    };
+
+    for (const auto &ch : topo.channels) {
+        if (ch.reader >= 0 && ch.writer < 0) {
+            errors.push_back(diag::streamStarvation(ch.name, ch.loc));
+            continue;
+        }
+        if (ch.writer >= 0 && ch.reader < 0) {
+            if (ch.tokens > ch.depth)
+                errors.push_back(diag::streamDeadlock(
+                    ch.name, ch.tokens, ch.depth, ch.loc));
+            continue;
+        }
+        if (ch.writer < 0)
+            continue;
+        if (reaches(ch.reader, ch.writer)) {
+            errors.push_back(diag::streamDeadlock(
+                ch.name, std::max(ch.tokens, ch.depth + 1), ch.depth,
+                ch.loc));
+            continue;
+        }
+        long required = requiredDepth(topo, ch);
+        if (ch.depth < required)
+            errors.push_back(diag::streamDeadlock(ch.name, required,
+                                                  ch.depth, ch.loc));
+    }
+    return errors;
+}
+
+uint64_t
+fifoStallCycles(const DataflowTopology &topo)
+{
+    uint64_t stalls = 0;
+    for (const auto &ch : topo.channels) {
+        if (ch.writer < 0 || ch.reader < 0)
+            continue;
+        long ii_w = topo.processes[ch.writer].ii;
+        long ii_r = topo.processes[ch.reader].ii;
+        long backlog = std::max(0L, ch.tokens - ch.depth);
+        long slack = std::max(0L, ii_r - ii_w);
+        stalls += static_cast<uint64_t>(backlog) *
+                  static_cast<uint64_t>(slack);
+    }
+    return stalls;
+}
+
+} // namespace heterogen::hls

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Streaming dataflow analysis — the FIFO-aware half of the simulated
+ * HLS toolchain (docs/STREAMING.md).
+ *
+ * A dataflow region whose processes communicate over explicit
+ * `hls::stream` channels is modeled as a process network:
+ * extractTopology() recovers the processes (call statements, in region
+ * order), the FIFO channels connecting them (stream-typed locals passed
+ * as call arguments), per-channel token counts, and per-process
+ * initiation intervals (pipeline pragma vs. array-bank conflicts).
+ * detectHangs() then decides — deterministically — whether the region
+ * hangs (AutoSA's "Issue 3": unserialized producer/consumer
+ * topologies), and fifoStallCycles() prices the backpressure the
+ * surviving designs still pay.
+ *
+ * Regions without stream channels are invisible to this module; the
+ * legacy dataflow checks in synth_check.cc keep judging them
+ * byte-identically.
+ */
+
+#ifndef HETEROGEN_HLS_DATAFLOW_H
+#define HETEROGEN_HLS_DATAFLOW_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cir/ast.h"
+#include "hls/config.h"
+#include "hls/errors.h"
+
+namespace heterogen::hls {
+
+/** One process (call statement) of a dataflow region. */
+struct StreamProcess
+{
+    /** Callee function name. */
+    std::string callee;
+    /** Position in the region, program order. */
+    int order = 0;
+    /** Channel names this process .read()s / .write()s. */
+    std::vector<std::string> reads;
+    std::vector<std::string> writes;
+    /**
+     * Initiation interval: max of the callee's pipeline pragma II and
+     * the array-bank-conflict floor ceil(accesses / (kBasePorts *
+     * partition_factor)) over the arrays it indexes.
+     */
+    long ii = 1;
+};
+
+/** One FIFO channel (stream-typed local passed to processes). */
+struct StreamChannel
+{
+    std::string name;
+    /** Effective depth: `#pragma HLS stream variable=N depth=D` in the
+     * region function, else HlsConfig::stream_depth. */
+    long depth = 2;
+    /** Tokens produced per region execution (write-loop trip product). */
+    long tokens = 0;
+    /** Producer / consumer process indices; -1 when absent. */
+    int writer = -1;
+    int reader = -1;
+    SourceLoc loc;
+};
+
+/** A dataflow region as a process network. */
+struct DataflowTopology
+{
+    std::vector<StreamProcess> processes;
+    std::vector<StreamChannel> channels;
+    /** Local arrays passed to >= 2 processes — unserialized shared
+     * state the hang detector rejects when channels are present. */
+    std::vector<std::string> shared_arrays;
+};
+
+/**
+ * Recover the process network of `fn`'s dataflow region. Meaningful
+ * only for functions carrying the dataflow pragma; channels is empty
+ * when the region uses no stream-typed call arguments.
+ */
+DataflowTopology extractTopology(const cir::TranslationUnit &tu,
+                                 const cir::FunctionDecl &fn,
+                                 const HlsConfig &config);
+
+/**
+ * Minimum FIFO depth for `ch` under the deterministic schedule:
+ * max of the producer-skew requirement (a join consumer cannot start
+ * until its latest producer runs, so earlier producers' channels must
+ * buffer every token) and the rate-mismatch backlog
+ * ceil(tokens * max(0, ii_reader - ii_writer) / ii_reader).
+ */
+long requiredDepth(const DataflowTopology &topo, const StreamChannel &ch);
+
+/**
+ * The hang detector. Empty when `topo.channels` is empty (legacy
+ * regions) or the network is serializable at the declared depths.
+ * Diagnoses, in this order: unserialized shared arrays, starved
+ * readers (channel never written), write-only channels overflowing
+ * their depth, channel cycles, and depth < requiredDepth().
+ */
+std::vector<HlsError> detectHangs(const DataflowTopology &topo);
+
+/**
+ * Backpressure cost of a (hang-free) region: for every channel,
+ * max(0, tokens - depth) * max(0, ii_reader - ii_writer) cycles of
+ * writer stall. Monotone non-increasing in every channel depth.
+ */
+uint64_t fifoStallCycles(const DataflowTopology &topo);
+
+} // namespace heterogen::hls
+
+#endif // HETEROGEN_HLS_DATAFLOW_H

@@ -18,6 +18,8 @@ categoryName(ErrorCategory category)
         return "Struct and Union";
       case ErrorCategory::TopFunction:
         return "Top Function";
+      case ErrorCategory::StreamingDataflow:
+        return "Streaming Dataflow";
     }
     return "?";
 }
@@ -38,6 +40,8 @@ categorySlug(ErrorCategory category)
         return "struct_and_union";
       case ErrorCategory::TopFunction:
         return "top_function";
+      case ErrorCategory::StreamingDataflow:
+        return "streaming_dataflow";
     }
     return "unknown";
 }
@@ -52,6 +56,7 @@ allCategories()
         ErrorCategory::LoopParallelization,
         ErrorCategory::StructAndUnion,
         ErrorCategory::TopFunction,
+        ErrorCategory::StreamingDataflow,
     };
     return all;
 }
@@ -242,6 +247,38 @@ badInterfacePragma(const std::string &detail, SourceLoc loc)
                 "top function interface configuration error: " + detail +
                     ".",
                 ErrorCategory::TopFunction, "", loc);
+}
+
+HlsError
+streamDeadlock(const std::string &chan, long required, long depth,
+               SourceLoc loc)
+{
+    return make("XFORM 203-713",
+                "deadlock detected in DATAFLOW region: fifo '" + chan +
+                    "' of depth " + std::to_string(depth) +
+                    " requires depth " + std::to_string(required) +
+                    " to avoid backpressure stall.",
+                ErrorCategory::StreamingDataflow, chan, loc);
+}
+
+HlsError
+streamStarvation(const std::string &chan, SourceLoc loc)
+{
+    return make("XFORM 203-714",
+                "fifo '" + chan +
+                    "' is read in a DATAFLOW region but never written; "
+                    "the consumer process is starved (fifo underflow).",
+                ErrorCategory::StreamingDataflow, chan, loc);
+}
+
+HlsError
+unserializedDataflow(const std::string &var, SourceLoc loc)
+{
+    return make("XFORM 203-715",
+                "unserialized producer/consumer access on '" + var +
+                    "' in a DATAFLOW region with fifo channels; shared "
+                    "array traffic must flow through a fifo.",
+                ErrorCategory::StreamingDataflow, var, loc);
 }
 
 HlsError

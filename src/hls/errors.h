@@ -17,7 +17,14 @@
 
 namespace heterogen::hls {
 
-/** The paper's six HLS-compatibility error categories (Figure 3). */
+/**
+ * The paper's six HLS-compatibility error categories (Figure 3), plus
+ * the streaming-dataflow category the FIFO-aware scheduler introduced
+ * (hang/backpressure diagnostics in dataflow regions with explicit
+ * stream channels — docs/STREAMING.md). The streaming category is
+ * appended last so the paper's pie-chart shares and the forum-corpus
+ * generation remain byte-identical.
+ */
 enum class ErrorCategory
 {
     DynamicDataStructures,
@@ -26,6 +33,7 @@ enum class ErrorCategory
     LoopParallelization,
     StructAndUnion,
     TopFunction,
+    StreamingDataflow,
 };
 
 /** Human-readable category label (matches the paper's terms). */
@@ -35,7 +43,7 @@ std::string categoryName(ErrorCategory category);
 std::string categorySlug(ErrorCategory category);
 
 /** Number of categories (pie-chart denominators, iteration). */
-constexpr int kNumErrorCategories = 6;
+constexpr int kNumErrorCategories = 7;
 
 /** All categories in a fixed order. */
 const std::vector<ErrorCategory> &allCategories();
@@ -80,6 +88,10 @@ HlsError missingTopFunction(const std::string &name);
 HlsError invalidClock(double mhz);
 HlsError unknownDevice(const std::string &device);
 HlsError badInterfacePragma(const std::string &detail, SourceLoc loc);
+HlsError streamDeadlock(const std::string &chan, long required, long depth,
+                        SourceLoc loc);
+HlsError streamStarvation(const std::string &chan, SourceLoc loc);
+HlsError unserializedDataflow(const std::string &var, SourceLoc loc);
 
 /**
  * The simulated toolchain itself failed at `site` (injected fault that

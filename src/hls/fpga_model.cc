@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "cir/walk.h"
+#include "hls/dataflow.h"
 
 namespace heterogen::hls {
 
@@ -169,6 +171,7 @@ simulateFpga(const TranslationUnit &tu, const HlsConfig &config,
     // into the parent's pipeline (Vivado unrolls sub-loops under a
     // pipeline directive), inheriting the parent's pipeline factor.
     double accelerated = double(profile.root_cycles);
+    std::map<std::string, double> fn_cycles;
     for (const auto &[node_id, rec] : profile.loops) {
         const LoopAcceleration &accel = accel_by_node[node_id];
         double divisor = accel.total();
@@ -177,9 +180,61 @@ simulateFpga(const TranslationUnit &tu, const HlsConfig &config,
             divisor *= parent->second.pipeline_factor;
         divisor = std::clamp(divisor, 1.0, kMaxLoopAcceleration);
         accelerated += double(rec.cycles_exclusive) / divisor;
+        auto it = loop_info.find(node_id);
+        if (it != loop_info.end())
+            fn_cycles[it->second.function] +=
+                double(rec.cycles_exclusive) / divisor;
         if (accel_out)
             accel_out->push_back(accel);
     }
+
+    // Streaming dataflow regions: the interpreter ran the processes
+    // serially, but FIFO-connected processes overlap — credit the
+    // overlap (bounded by the longest process and kMaxDataflowOverlap),
+    // then charge the backpressure stalls undersized FIFOs cost. The
+    // per-loop dataflow_factor above only fires for loops owned by the
+    // pragma-bearing function itself, so the two credits never stack.
+    double overlap_credit = 0;
+    uint64_t stalls = 0;
+    for (const auto &fn : tu.functions) {
+        if (!fn->body)
+            continue;
+        bool has_dataflow = false;
+        for (const auto &s : fn->body->stmts) {
+            if (s->kind() == StmtKind::Pragma &&
+                static_cast<const PragmaStmt &>(*s).info.kind ==
+                    PragmaKind::Dataflow) {
+                has_dataflow = true;
+                break;
+            }
+        }
+        if (!has_dataflow)
+            continue;
+        DataflowTopology topo = extractTopology(tu, *fn, config);
+        if (topo.channels.empty())
+            continue;
+        std::set<std::string> callees;
+        for (const StreamProcess &p : topo.processes)
+            callees.insert(p.callee);
+        double serial = 0, longest = 0;
+        for (const std::string &callee : callees) {
+            auto it = fn_cycles.find(callee);
+            if (it == fn_cycles.end())
+                continue;
+            serial += it->second;
+            longest = std::max(longest, it->second);
+        }
+        double overlap = std::clamp(double(callees.size()), 1.0,
+                                    kMaxDataflowOverlap);
+        double overlapped = std::max(longest, serial / overlap);
+        overlap_credit += std::max(0.0, serial - overlapped);
+        stalls += fifoStallCycles(topo);
+        result.stream_processes +=
+            static_cast<int>(topo.processes.size());
+    }
+    accelerated = std::max(0.0, accelerated - overlap_credit) +
+                  double(stalls);
+    result.fifo_stall_cycles = stalls;
 
     // Host<->device data movement.
     uint64_t cells = 0;

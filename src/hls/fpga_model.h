@@ -30,6 +30,11 @@ struct FpgaRunResult
     double millis = 0;
     /** Host<->device transfer cycles included in fpga_cycles. */
     uint64_t transfer_cycles = 0;
+    /** FIFO backpressure stall cycles included in fpga_cycles
+     * (streaming dataflow regions only — hls/dataflow.h). */
+    uint64_t fifo_stall_cycles = 0;
+    /** Processes across all streaming dataflow regions of the design. */
+    int stream_processes = 0;
 };
 
 /** Per-loop acceleration factors the model derived (for tests/reports). */

@@ -1,6 +1,7 @@
 #include "hls/resource.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "cir/walk.h"
@@ -69,11 +70,12 @@ typeBits(const TranslationUnit &tu, const TypePtr &t)
 } // namespace
 
 ResourceEstimate
-estimateResources(const TranslationUnit &tu)
+estimateResources(const TranslationUnit &tu, const HlsConfig *config)
 {
     ResourceEstimate est;
 
     long partition_factor = 1;
+    std::map<std::string, long> stream_depths;
     forEachStmt(tu, [&](const Stmt &s) {
         if (s.kind() != StmtKind::Pragma)
             return;
@@ -81,13 +83,28 @@ estimateResources(const TranslationUnit &tu)
         if (p.info.kind == PragmaKind::ArrayPartition) {
             partition_factor =
                 std::max(partition_factor, p.info.paramInt("factor", 1));
+        } else if (p.info.kind == PragmaKind::StreamDepth) {
+            const std::string var = p.info.paramStr("variable");
+            if (!var.empty())
+                stream_depths[var] = std::max(
+                    1L, p.info.paramInt("depth", 1));
         }
     });
 
-    // Storage: arrays to BRAM, scalars to FF.
+    // Storage: arrays to BRAM, scalars to FF, streams to FIFO buffers
+    // of depth x element width.
+    long default_depth =
+        config ? std::max(1L, config->stream_depth) : 1;
     auto account_decl = [&](const DeclStmt &d) {
         long bits = typeBits(tu, d.type);
-        if (d.type->isArray() || d.type->isStruct()) {
+        if (d.type->isStream()) {
+            long depth = default_depth;
+            auto it = stream_depths.find(d.name);
+            if (it != stream_depths.end())
+                depth = it->second;
+            est.bram_bits += depth * bits;
+            est.memory_banks += 1;
+        } else if (d.type->isArray() || d.type->isStruct()) {
             est.bram_bits += bits;
             est.memory_banks += partition_factor;
         } else {

@@ -36,8 +36,15 @@ struct ResourceEstimate
     std::string str() const;
 };
 
-/** Estimate resources for a design. */
-ResourceEstimate estimateResources(const cir::TranslationUnit &tu);
+/**
+ * Estimate resources for a design. With a config, `hls::stream`
+ * declarations are priced as FIFO buffers (depth x element bits of
+ * BRAM, one bank each) using the configured default depth for channels
+ * without an explicit stream pragma; without one they price at the
+ * minimal depth of 1.
+ */
+ResourceEstimate estimateResources(const cir::TranslationUnit &tu,
+                                   const HlsConfig *config = nullptr);
 
 } // namespace heterogen::hls
 

@@ -7,6 +7,7 @@
 #include "cir/printer.h"
 #include "cir/sema.h"
 #include "cir/walk.h"
+#include "hls/dataflow.h"
 #include "support/run_context.h"
 
 namespace heterogen::hls {
@@ -495,6 +496,19 @@ class Checker
     void
     checkDataflowRegion(const FunctionDecl &fn)
     {
+        // Streaming regions — those passing stream-typed locals as call
+        // arguments — are judged by the FIFO-aware process-network
+        // model (hls/dataflow.h): the hang detector subsumes the legacy
+        // shared-array rule (unserialized traffic must flow through a
+        // fifo) and adds deadlock/starvation diagnostics. Regions
+        // without stream channels keep the legacy checks byte-for-byte.
+        DataflowTopology topo = extractTopology(tu_, fn, config_);
+        if (!topo.channels.empty()) {
+            for (HlsError &e : detectHangs(topo))
+                emit(std::move(e));
+            return;
+        }
+
         // Count argument uses of each local (non-stream) array across the
         // call statements of the dataflow region and stream uses across
         // struct-literal connections.

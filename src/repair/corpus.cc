@@ -53,6 +53,7 @@ catalogue()
     const auto Loop = ErrorCategory::LoopParallelization;
     const auto Struct = ErrorCategory::StructAndUnion;
     const auto Top = ErrorCategory::TopFunction;
+    const auto Stream = ErrorCategory::StreamingDataflow;
 
     static const std::vector<CatalogueEntry> entries = {
         // --- dynamic data structures ---------------------------------
@@ -117,6 +118,19 @@ catalogue()
         {"interface_fix", Top, false,
          {"interface($p1:pragma)"},
          {"interface"}},
+        // --- streaming dataflow --------------------------------------
+        // Not performance recipes: they fix hangs, so they must stay
+        // out of the performance phase (which batches every
+        // performance recipe regardless of category).
+        {"streamify_chain", Stream, false,
+         {"streamify($a1:arr)"},
+         {"unserialized", "fifo"}},
+        {"stream_depth_size", Stream, false,
+         {"stream_depth($c1:chan)"},
+         {"deadlock"}},
+        {"stream_bank", Stream, false,
+         {"stream_depth($c1:chan)", "bank_partition($a1:arr)"},
+         {"backpressure"}},
         // --- performance (mined from the manual ports' pragmas) ------
         {"perf_pipeline", Loop, true,
          {"pipeline($l1:loop)"},
@@ -148,6 +162,19 @@ portPragmaFor(const std::string &id)
     if (id == "perf_dataflow")
         return "#pragma HLS dataflow";
     return nullptr;
+}
+
+/** Number of (possibly overlapping) occurrences of needle. */
+int
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    if (needle.empty())
+        return 0;
+    int count = 0;
+    for (size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + 1))
+        count += 1;
+    return count;
 }
 
 /**
@@ -182,6 +209,21 @@ portEvidences(const CatalogueEntry &entry, const std::string &original,
         return (contains(original, "struct") ||
                 contains(original, "union")) &&
                contains(rewritten, "#pragma HLS");
+    // Streaming evidence: the expert introduced fifo channels (more
+    // hls::stream declarations than the original had), a depth pragma,
+    // or a depth pragma alongside bank partitioning. The stream_bank
+    // rule requires array_partition in the ORIGINAL too, so a port that
+    // merely introduces partitioning still evidences perf_partition
+    // alone, untouched.
+    if (id_str == "streamify_chain")
+        return countOccurrences(rewritten, "hls::stream") >
+               countOccurrences(original, "hls::stream");
+    if (id_str == "stream_depth_size")
+        return contains(rewritten, "#pragma HLS stream ") &&
+               !contains(original, "#pragma HLS stream ");
+    if (id_str == "stream_bank")
+        return contains(rewritten, "#pragma HLS stream ") &&
+               contains(original, "array_partition");
     return false;
 }
 
@@ -299,6 +341,10 @@ RewriteCorpus::instance()
         std::vector<std::pair<std::string, std::string>> ports;
         std::vector<std::string> ids;
         for (const subjects::Subject &s : subjects::allSubjects()) {
+            ports.push_back({s.source, s.manual_source});
+            ids.push_back(s.id + ":manual");
+        }
+        for (const subjects::Subject &s : subjects::streamingSubjects()) {
             ports.push_back({s.source, s.manual_source});
             ids.push_back(s.id + ":manual");
         }

@@ -109,6 +109,17 @@ EditRegistry::EditRegistry()
     templates_.push_back(make("top_device()", {Top}, {}, fixDevice));
     templates_.push_back(make("interface($p1:pragma)", {Top}, {},
                               fixInterfacePragma));
+
+    // --- streaming dataflow (registered last; none are
+    // performance_improving, keeping the pinned performance-phase
+    // traces of the non-streaming subjects byte-identical) -------------
+    const auto Stream = ErrorCategory::StreamingDataflow;
+    templates_.push_back(make("streamify($a1:arr)", {Stream}, {},
+                              streamifyArray));
+    templates_.push_back(make("stream_depth($c1:chan)", {Stream}, {},
+                              sizeStreamDepth));
+    templates_.push_back(make("bank_partition($a1:arr)", {Stream},
+                              {"stream_depth($c1:chan)"}, bankPartition));
 }
 
 EditRegistry &

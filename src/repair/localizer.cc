@@ -41,6 +41,14 @@ classifyMessage(const std::string &message)
     }
     // Order matters: more specific phrases first, mirroring how §5.2
     // extracts keywords such as "recursion", "dataflow", or "struct".
+    // Streaming-dataflow diagnostics lead: their messages are the only
+    // ones using the fifo/deadlock/backpressure vocabulary (a bare
+    // "stream" must keep routing to the struct rule below).
+    if (contains(m, "deadlock") || contains(m, "fifo") ||
+        contains(m, "backpressure") || contains(m, "unserialized") ||
+        contains(m, "starv")) {
+        return ErrorCategory::StreamingDataflow;
+    }
     if (contains(m, "recursive") || contains(m, "recursion") ||
         contains(m, "dynamic memory") || contains(m, "malloc") ||
         contains(m, "dynamic allocation") ||

@@ -27,6 +27,8 @@ candidateFingerprint(const std::string &printed,
     key += std::to_string(config.clock_mhz);
     key += '\x1f';
     key += config.device;
+    key += '\x1f';
+    key += std::to_string(config.stream_depth);
     return key;
 }
 

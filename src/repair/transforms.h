@@ -108,6 +108,31 @@ bool streamStatic(RepairContext &ctx);
 /** Convert a union into a struct (fields coexist). */
 bool unionToStruct(RepairContext &ctx);
 
+// --- streaming dataflow ----------------------------------------------------------------
+
+/**
+ * Convert a dataflow-shared local array into an `hls::stream` channel:
+ * the writer's `p[i] = rhs` stores become `p.write(rhs)`, the reader
+ * loads a loop-local value with `p.read()`, and both callee parameters
+ * become stream references. Matches the canonical one-writer/one-reader
+ * shape only (C2HLSC's "streamification").
+ */
+bool streamifyArray(RepairContext &ctx);
+
+/**
+ * Size an undersized FIFO: set `#pragma HLS stream variable=C depth=D`
+ * with D = min(requiredDepth, 1024). Applies even when the cap leaves
+ * the channel short — partitioning (bank_partition) must then close
+ * the remaining gap by deflating the reader's II.
+ */
+bool sizeStreamDepth(RepairContext &ctx);
+
+/**
+ * Partition the most bank-conflicted array of a slow consumer process
+ * so its initiation interval stops inflating the required FIFO depth.
+ */
+bool bankPartition(RepairContext &ctx);
+
 // --- top function ----------------------------------------------------------------------------
 
 /** Point the configuration at an existing kernel entry function. */

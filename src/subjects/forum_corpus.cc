@@ -17,6 +17,10 @@ paperCategoryShare(ErrorCategory category)
       case ErrorCategory::LoopParallelization: return 0.161;
       case ErrorCategory::StructAndUnion: return 0.141;
       case ErrorCategory::DynamicDataStructures: return 0.082;
+      // The streaming-dataflow category postdates the paper's 2022
+      // forum study; zero share keeps the generated corpus (and its
+      // RNG draw sequence) byte-identical to the pre-streaming build.
+      case ErrorCategory::StreamingDataflow: return 0;
     }
     return 0;
 }
@@ -120,6 +124,9 @@ templatesFor(ErrorCategory category)
       case ErrorCategory::LoopParallelization: return loops;
       case ErrorCategory::StructAndUnion: return structs;
       case ErrorCategory::TopFunction: return top;
+      // Zero paper share (see paperCategoryShare): never drawn from,
+      // but the switch must still hand back a valid pool.
+      case ErrorCategory::StreamingDataflow: return dataflow;
     }
     return dynamic;
 }
@@ -197,6 +204,17 @@ snippetFor(ErrorCategory category, const std::string &symbol)
       case ErrorCategory::TopFunction:
         format = "int %s(int x) { return x + 1; }\n"
                  "int kernel(int x) { return %s(x); }\n";
+        break;
+      case ErrorCategory::StreamingDataflow:
+        format = "void feed(hls::stream<int> &%s) {\n"
+                 "    for (int i = 0; i < 16; i++) { %s.write(i); }\n"
+                 "}\n"
+                 "int kernel(int n) {\n"
+                 "    #pragma HLS dataflow\n"
+                 "    hls::stream<int> %s;\n"
+                 "    feed(%s);\n"
+                 "    return n;\n"
+                 "}\n";
         break;
     }
     return instantiate(format, symbol);

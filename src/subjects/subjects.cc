@@ -25,10 +25,28 @@ allSubjects()
     return subjects;
 }
 
+const std::vector<Subject> &
+streamingSubjects()
+{
+    static const std::vector<Subject> subjects = [] {
+        std::vector<Subject> out;
+        out.push_back(detail::makeS1());
+        out.push_back(detail::makeS2());
+        out.push_back(detail::makeS3());
+        out.push_back(detail::makeS4());
+        return out;
+    }();
+    return subjects;
+}
+
 const Subject &
 subjectById(const std::string &id)
 {
     for (const Subject &s : allSubjects()) {
+        if (s.id == id)
+            return s;
+    }
+    for (const Subject &s : streamingSubjects()) {
         if (s.id == id)
             return s;
     }

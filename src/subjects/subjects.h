@@ -42,7 +42,15 @@ struct Subject
 /** All ten subjects in order. */
 const std::vector<Subject> &allSubjects();
 
-/** Lookup by id ("P3"); fatal on unknown id. */
+/**
+ * The streaming/dataflow workload class S1-S4: producer/consumer
+ * chain, tiled GEMM, 2D stencil, and an FFT-like butterfly. Each hangs
+ * in (modeled) hardware while simulating cleanly in software; kept out
+ * of allSubjects() so the Table 3-5 experiment set is untouched.
+ */
+const std::vector<Subject> &streamingSubjects();
+
+/** Lookup by id ("P3", "S1"); fatal on unknown id. */
 const Subject &subjectById(const std::string &id);
 
 } // namespace heterogen::subjects

@@ -18,6 +18,11 @@ Subject makeP8();
 Subject makeP9();
 Subject makeP10();
 
+Subject makeS1();
+Subject makeS2();
+Subject makeS3();
+Subject makeS4();
+
 } // namespace heterogen::subjects::detail
 
 #endif // HETEROGEN_SUBJECTS_SUBJECTS_DETAIL_H

@@ -1,0 +1,440 @@
+/** @file Streaming subjects S1-S4: producer/consumer chain, tiled
+ * GEMM, 2D stencil blur, and an FFT-like butterfly network. Each one
+ * carries a DATAFLOW region whose fifo topology hangs in hardware
+ * while simulating cleanly in software (AutoSA's "Issue 3"), plus the
+ * expert port the rewrite corpus mines. */
+
+#include "subjects/subjects_detail.h"
+
+namespace heterogen::subjects {
+
+using interp::KernelArg;
+
+namespace detail {
+
+Subject
+makeS1()
+{
+    Subject s;
+    s.id = "S1";
+    s.name = "producer consumer chain";
+    s.kernel = "chain_kernel";
+    s.host = "host";
+    s.fuzz_seed = 201;
+    // Three-stage chain: the load stage already streams into the scale
+    // stage, but scale hands its output to the fold stage through a
+    // plain scratch array. Both stages touch the array inside one
+    // dataflow region, so the schedule is unserialized: co-simulation
+    // passes, hardware hangs.
+    s.source = R"(
+void stage_load(int src[64], hls::stream<int> &mid) {
+    for (int i = 0; i < 64; i++) {
+        mid.write(src[i] * 3 + 1);
+    }
+}
+void stage_scale(hls::stream<int> &mid, int buf[64]) {
+    for (int i = 0; i < 64; i++) {
+        int v = mid.read();
+        buf[i] = v * 2 - 5;
+    }
+}
+void stage_fold(int buf[64], int out[8]) {
+    int acc = 0;
+    for (int i = 0; i < 64; i++) {
+        acc = acc + buf[i];
+        if (i % 8 == 7) {
+            out[i / 8] = acc;
+            acc = 0;
+        }
+    }
+}
+void chain_kernel(int src[64], int out[8]) {
+    #pragma HLS dataflow
+    hls::stream<int> mid;
+    int buf[64];
+    stage_load(src, mid);
+    stage_scale(mid, buf);
+    stage_fold(buf, out);
+}
+int host() {
+    int src[64];
+    int out[8];
+    for (int i = 0; i < 64; i++) {
+        src[i] = (i * 7 + 3) % 50 - 11;
+    }
+    for (int i = 0; i < 8; i++) {
+        out[i] = 0;
+    }
+    chain_kernel(src, out);
+    return out[0] + out[7];
+}
+)";
+    // The expert port streams the scratch array: every hop of the
+    // chain is a fifo, so the processes overlap and nothing hangs.
+    s.manual_source = R"(
+void stage_load(int src[64], hls::stream<int> &mid) {
+    for (int i = 0; i < 64; i++) {
+        mid.write(src[i] * 3 + 1);
+    }
+}
+void stage_scale(hls::stream<int> &mid, hls::stream<int> &buf) {
+    for (int i = 0; i < 64; i++) {
+        int v = mid.read();
+        buf.write(v * 2 - 5);
+    }
+}
+void stage_fold(hls::stream<int> &buf, int out[8]) {
+    int acc = 0;
+    for (int i = 0; i < 64; i++) {
+        int b = buf.read();
+        acc = acc + b;
+        if (i % 8 == 7) {
+            out[i / 8] = acc;
+            acc = 0;
+        }
+    }
+}
+void chain_kernel(int src[64], int out[8]) {
+    #pragma HLS dataflow
+    hls::stream<int> mid;
+    hls::stream<int> buf;
+    stage_load(src, mid);
+    stage_scale(mid, buf);
+    stage_fold(buf, out);
+}
+)";
+    {
+        std::vector<long> src(64, 2);
+        s.existing_tests.push_back(
+            {KernelArg::ofInts(src),
+             KernelArg::ofInts({0, 0, 0, 0, 0, 0, 0, 0})});
+    }
+    return s;
+}
+
+Subject
+makeS2()
+{
+    Subject s;
+    s.id = "S2";
+    s.name = "tiled gemm";
+    s.kernel = "gemm_kernel";
+    s.host = "host";
+    s.fuzz_seed = 202;
+    // 8x8 matrix multiply: a feeder streams the B operand tile by
+    // tile, the MAC stage accumulates into a shared result buffer that
+    // the drain stage then clamps out — the buffer is the unserialized
+    // producer/consumer pair.
+    s.source = R"(
+void feed_b(int b[64], hls::stream<int> &bs) {
+    for (int t = 0; t < 64; t++) {
+        bs.write(b[t]);
+    }
+}
+void mac_tile(int a[64], hls::stream<int> &bs, int cbuf[64]) {
+    int bloc[64];
+    for (int t = 0; t < 64; t++) {
+        bloc[t] = bs.read();
+    }
+    for (int row = 0; row < 8; row++) {
+        for (int col = 0; col < 8; col++) {
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+                acc = acc + a[row * 8 + k] * bloc[k * 8 + col];
+            }
+            cbuf[row * 8 + col] = acc;
+        }
+    }
+}
+void drain_c(int cbuf[64], int c[64]) {
+    for (int i = 0; i < 64; i++) {
+        int v = cbuf[i];
+        if (v < 0) {
+            v = 0;
+        }
+        c[i] = v;
+    }
+}
+void gemm_kernel(int a[64], int b[64], int c[64]) {
+    #pragma HLS dataflow
+    hls::stream<int> bs;
+    int cbuf[64];
+    feed_b(b, bs);
+    mac_tile(a, bs, cbuf);
+    drain_c(cbuf, c);
+}
+int host() {
+    int a[64];
+    int b[64];
+    int c[64];
+    for (int i = 0; i < 64; i++) {
+        a[i] = (i * 5) % 13 - 6;
+        b[i] = (i * 11 + 2) % 17 - 8;
+        c[i] = 0;
+    }
+    gemm_kernel(a, b, c);
+    return c[0] + c[63];
+}
+)";
+    // Expert port: the result buffer becomes a fifo written in drain
+    // order, so the MAC and drain stages pipeline back to back.
+    s.manual_source = R"(
+void feed_b(int b[64], hls::stream<int> &bs) {
+    for (int t = 0; t < 64; t++) {
+        bs.write(b[t]);
+    }
+}
+void mac_tile(int a[64], hls::stream<int> &bs, hls::stream<int> &cbuf) {
+    int bloc[64];
+    for (int t = 0; t < 64; t++) {
+        bloc[t] = bs.read();
+    }
+    for (int row = 0; row < 8; row++) {
+        for (int col = 0; col < 8; col++) {
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+                acc = acc + a[row * 8 + k] * bloc[k * 8 + col];
+            }
+            cbuf.write(acc);
+        }
+    }
+}
+void drain_c(hls::stream<int> &cbuf, int c[64]) {
+    for (int i = 0; i < 64; i++) {
+        int v = cbuf.read();
+        if (v < 0) {
+            v = 0;
+        }
+        c[i] = v;
+    }
+}
+void gemm_kernel(int a[64], int b[64], int c[64]) {
+    #pragma HLS dataflow
+    hls::stream<int> bs;
+    hls::stream<int> cbuf;
+    feed_b(b, bs);
+    mac_tile(a, bs, cbuf);
+    drain_c(cbuf, c);
+}
+)";
+    {
+        std::vector<long> a(64, 1);
+        std::vector<long> b(64, 3);
+        std::vector<long> c(64, 0);
+        s.existing_tests.push_back({KernelArg::ofInts(a),
+                                    KernelArg::ofInts(b),
+                                    KernelArg::ofInts(c)});
+    }
+    return s;
+}
+
+Subject
+makeS3()
+{
+    Subject s;
+    s.id = "S3";
+    s.name = "2d stencil blur";
+    s.kernel = "stencil_kernel";
+    s.host = "host";
+    s.fuzz_seed = 203;
+    // Vertical blur over a 5x16 frame: two row producers feed one join
+    // consumer. The north channel must buffer its full 64 tokens while
+    // the south producer catches up (producer skew), but both fifos
+    // sit at the configured default depth.
+    s.source = R"(
+void north_rows(int img[80], hls::stream<int> &ns) {
+    for (int i = 0; i < 64; i++) {
+        ns.write(img[i]);
+    }
+}
+void south_rows(int img[80], hls::stream<int> &ss) {
+    for (int i = 0; i < 64; i++) {
+        ss.write(img[i + 16]);
+    }
+}
+void blend(hls::stream<int> &ns, hls::stream<int> &ss, int out[64]) {
+    for (int i = 0; i < 64; i++) {
+        int n = ns.read();
+        int sv = ss.read();
+        out[i] = (n + sv) / 2;
+    }
+}
+void stencil_kernel(int img[80], int out[64]) {
+    #pragma HLS dataflow
+    hls::stream<int> ns;
+    hls::stream<int> ss;
+    north_rows(img, ns);
+    south_rows(img, ss);
+    blend(ns, ss, out);
+}
+int host() {
+    int img[80];
+    int out[64];
+    for (int i = 0; i < 80; i++) {
+        img[i] = (i * 9 + 5) % 256;
+    }
+    for (int i = 0; i < 64; i++) {
+        out[i] = 0;
+    }
+    stencil_kernel(img, out);
+    return out[0] + out[63];
+}
+)";
+    // Expert port: size the skewed channel for its full token count so
+    // the join never backpressures its first producer.
+    s.manual_source = R"(
+void north_rows(int img[80], hls::stream<int> &ns) {
+    for (int i = 0; i < 64; i++) {
+        ns.write(img[i]);
+    }
+}
+void south_rows(int img[80], hls::stream<int> &ss) {
+    for (int i = 0; i < 64; i++) {
+        ss.write(img[i + 16]);
+    }
+}
+void blend(hls::stream<int> &ns, hls::stream<int> &ss, int out[64]) {
+    for (int i = 0; i < 64; i++) {
+        int n = ns.read();
+        int sv = ss.read();
+        out[i] = (n + sv) / 2;
+    }
+}
+void stencil_kernel(int img[80], int out[64]) {
+    #pragma HLS dataflow
+    hls::stream<int> ns;
+    #pragma HLS stream variable=ns depth=64
+    hls::stream<int> ss;
+    north_rows(img, ns);
+    south_rows(img, ss);
+    blend(ns, ss, out);
+}
+)";
+    {
+        std::vector<long> img(80, 100);
+        std::vector<long> out(64, 0);
+        s.existing_tests.push_back(
+            {KernelArg::ofInts(img), KernelArg::ofInts(out)});
+    }
+    return s;
+}
+
+Subject
+makeS4()
+{
+    Subject s;
+    s.id = "S4";
+    s.name = "butterfly network";
+    s.kernel = "fft_kernel";
+    s.host = "host";
+    s.fuzz_seed = 204;
+    // FFT-like two-process network: the butterfly stage emits 16
+    // stages x 128 points, and the untwiddle stage folds each point
+    // against eight coefficient taps. The tap array is unpartitioned,
+    // so the consumer's initiation interval inflates 4x and the fifo
+    // backlog outgrows even the maximum legal depth — only bank
+    // partitioning can close the gap.
+    s.source = R"(
+void butterfly(int a[128], int b[128], hls::stream<int> &xs) {
+    for (int s = 0; s < 16; s++) {
+        for (int i = 0; i < 128; i++) {
+            int u = a[i];
+            int v = b[i];
+            xs.write(u + v * (s + 1));
+        }
+    }
+}
+void untwiddle(hls::stream<int> &xs, int tw[16], int out[16]) {
+    #pragma HLS array_partition variable=tw factor=1 type=cyclic
+    for (int s = 0; s < 16; s++) {
+        for (int i = 0; i < 128; i++) {
+            int x = xs.read();
+            int w0 = tw[i % 16];
+            int w1 = tw[(i + 1) % 16];
+            int w2 = tw[(i + 2) % 16];
+            int w3 = tw[(i + 4) % 16];
+            int w4 = tw[(i + 5) % 16];
+            int w5 = tw[(i + 8) % 16];
+            int w6 = tw[(i + 9) % 16];
+            int w7 = tw[(i + 12) % 16];
+            int y = x * w0 + w1 - w2 + w3 * 2 - w4 + w5 - w6 + w7;
+            out[s] = out[s] + y;
+        }
+    }
+}
+void fft_kernel(int a[128], int b[128], int tw[16], int out[16]) {
+    #pragma HLS dataflow
+    hls::stream<int> xs;
+    butterfly(a, b, xs);
+    untwiddle(xs, tw, out);
+}
+int host() {
+    int a[128];
+    int b[128];
+    int tw[16];
+    int out[16];
+    for (int i = 0; i < 128; i++) {
+        a[i] = (i * 3 + 1) % 21 - 10;
+        b[i] = (i * 7 + 4) % 15 - 7;
+    }
+    for (int i = 0; i < 16; i++) {
+        tw[i] = (i * 5 + 2) % 9 - 4;
+        out[i] = 0;
+    }
+    fft_kernel(a, b, tw, out);
+    return out[0] + out[15];
+}
+)";
+    // Expert port: cap the fifo at the toolchain maximum and partition
+    // the tap array four ways so the consumer drains at full rate.
+    s.manual_source = R"(
+void butterfly(int a[128], int b[128], hls::stream<int> &xs) {
+    for (int s = 0; s < 16; s++) {
+        for (int i = 0; i < 128; i++) {
+            int u = a[i];
+            int v = b[i];
+            xs.write(u + v * (s + 1));
+        }
+    }
+}
+void untwiddle(hls::stream<int> &xs, int tw[16], int out[16]) {
+    #pragma HLS array_partition variable=tw factor=4 type=cyclic
+    for (int s = 0; s < 16; s++) {
+        for (int i = 0; i < 128; i++) {
+            int x = xs.read();
+            int w0 = tw[i % 16];
+            int w1 = tw[(i + 1) % 16];
+            int w2 = tw[(i + 2) % 16];
+            int w3 = tw[(i + 4) % 16];
+            int w4 = tw[(i + 5) % 16];
+            int w5 = tw[(i + 8) % 16];
+            int w6 = tw[(i + 9) % 16];
+            int w7 = tw[(i + 12) % 16];
+            int y = x * w0 + w1 - w2 + w3 * 2 - w4 + w5 - w6 + w7;
+            out[s] = out[s] + y;
+        }
+    }
+}
+void fft_kernel(int a[128], int b[128], int tw[16], int out[16]) {
+    #pragma HLS dataflow
+    hls::stream<int> xs;
+    #pragma HLS stream variable=xs depth=1024
+    butterfly(a, b, xs);
+    untwiddle(xs, tw, out);
+}
+)";
+    {
+        std::vector<long> a(128, 1);
+        std::vector<long> b(128, 2);
+        std::vector<long> tw(16, 1);
+        std::vector<long> out(16, 0);
+        s.existing_tests.push_back(
+            {KernelArg::ofInts(a), KernelArg::ofInts(b),
+             KernelArg::ofInts(tw), KernelArg::ofInts(out)});
+    }
+    return s;
+}
+
+} // namespace detail
+
+} // namespace heterogen::subjects

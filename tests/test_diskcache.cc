@@ -16,6 +16,7 @@
 #include "core/heterogen.h"
 #include "repair/store.h"
 #include "service/service.h"
+#include "subjects/subjects.h"
 #include "support/diagnostics.h"
 #include "support/diskcache.h"
 #include "support/run_context.h"
@@ -563,9 +564,10 @@ struct PipelineRun
 };
 
 PipelineRun
-runCached(const core::HeteroGenOptions &opts)
+runCached(const core::HeteroGenOptions &opts,
+          const std::string &src = kBacktracking)
 {
-    core::HeteroGen engine(kBacktracking);
+    core::HeteroGen engine(src);
     RunContext ctx;
     PipelineRun run;
     run.report = engine.run(ctx, opts);
@@ -694,6 +696,81 @@ TEST(WarmStart, ArmedFaultPlanBypassesTheDiskEntirely)
     EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.writes"), 0);
     EXPECT_EQ(ctx.trace().counterTotal("repair.diskcache.hits"), 0);
     EXPECT_TRUE(shardFiles(dir).empty());
+}
+
+// --- streaming subjects through the cache --------------------------------
+
+TEST(VerdictStore, StreamingDeadlockVerdictRoundTripsBitExactly)
+{
+    std::string dir = freshDir("vs-stream");
+    repair::VerdictStoreOptions o;
+    o.dir = dir;
+    hls::CompileResult r;
+    r.ok = false;
+    r.synth_minutes = 3.0000000000000004;
+    hls::HlsError e;
+    e.code = "XFORM 203-713";
+    e.message = "deadlock detected in DATAFLOW region: fifo 'ns' of "
+                "depth 2 requires depth 64 to avoid backpressure stall.";
+    e.category = hls::ErrorCategory::StreamingDataflow;
+    e.symbol = "ns";
+    e.loc = {12, 5};
+    r.errors.push_back(e);
+    {
+        repair::VerdictStore store(o);
+        store.storeCompile(nullptr, "stream-fp", r);
+        EXPECT_TRUE(store.flush());
+    }
+    repair::VerdictStore store(o);
+    auto hit = store.findCompile(nullptr, "stream-fp");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->ok);
+    EXPECT_EQ(hit->synth_minutes, r.synth_minutes); // bit-exact
+    ASSERT_EQ(hit->errors.size(), 1u);
+    EXPECT_EQ(hit->errors[0].code, e.code);
+    EXPECT_EQ(hit->errors[0].message, e.message);
+    EXPECT_EQ(hit->errors[0].category,
+              hls::ErrorCategory::StreamingDataflow);
+    EXPECT_EQ(hit->errors[0].symbol, "ns");
+    EXPECT_EQ(hit->errors[0].loc.line, 12);
+    EXPECT_EQ(hit->errors[0].loc.column, 5);
+}
+
+core::HeteroGenOptions
+streamCachedOptions(const subjects::Subject &s, const std::string &dir)
+{
+    core::HeteroGenOptions opts;
+    opts.kernel = s.kernel;
+    opts.fuzz.host_function = s.host;
+    opts.fuzz.rng_seed = s.fuzz_seed;
+    opts.fuzz.max_executions = 60;
+    opts.fuzz.mutations_per_input = 6;
+    opts.fuzz.min_suite_size = 8;
+    opts.fuzz.max_steps_per_run = 400000;
+    opts.search.difftest_sample = 8;
+    opts.search.cache_dir = dir;
+    return opts;
+}
+
+TEST(WarmStart, StreamingSubjectWarmRunSkipsEveryCompile)
+{
+    // The stream-repair path (hang verdicts, stream_depth edits, the
+    // stream_depth fingerprint component) must round-trip through the
+    // persistent cache like every other verdict: a warm rerun of the
+    // stencil subject answers everything from disk.
+    const subjects::Subject &s = subjects::subjectById("S3");
+    std::string dir = freshDir("warm-stream");
+    PipelineRun cold = runCached(streamCachedOptions(s, dir), s.source);
+    ASSERT_TRUE(cold.report.ok());
+    EXPECT_GT(cold.hls_compiles, 0);
+    EXPECT_GT(cold.disk_writes, 0);
+    EXPECT_EQ(cold.disk_hits, 0);
+
+    PipelineRun warm = runCached(streamCachedOptions(s, dir), s.source);
+    ASSERT_TRUE(warm.report.ok());
+    expectIdenticalReports(cold.report, warm.report);
+    EXPECT_GT(warm.disk_hits, 0);
+    EXPECT_EQ(warm.hls_compiles, 0);
 }
 
 // --- shared cache under the conversion service ---------------------------

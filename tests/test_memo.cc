@@ -64,6 +64,30 @@ TEST(CandidateFingerprint, ConfigChangeMisses)
               candidateFingerprint(*tu, other_device));
 }
 
+TEST(CandidateFingerprint, StreamDepthChangeMisses)
+{
+    // Regression: the fifo depth is part of the candidate identity.
+    // Two candidates differing only in config.stream_depth must never
+    // share a verdict — a depth-2 deadlock verdict served to a depth-64
+    // candidate would mask the stream_depth repair entirely.
+    auto tu = program("int kernel(int x) { return x + 1; }");
+    hls::HlsConfig shallow = hls::HlsConfig::forTop("kernel");
+    shallow.stream_depth = 2;
+    hls::HlsConfig deep = shallow;
+    deep.stream_depth = 64;
+    EXPECT_NE(candidateFingerprint(*tu, shallow),
+              candidateFingerprint(*tu, deep));
+
+    CandidateMemo memo;
+    hls::CompileResult deadlocked;
+    deadlocked.ok = false;
+    memo.storeCompile(candidateFingerprint(*tu, shallow), deadlocked);
+    EXPECT_TRUE(
+        memo.findCompile(candidateFingerprint(*tu, shallow)).has_value());
+    EXPECT_FALSE(
+        memo.findCompile(candidateFingerprint(*tu, deep)).has_value());
+}
+
 // --- the memo itself -----------------------------------------------------
 
 TEST(CandidateMemo, CompileRoundTripWithExactCounters)

@@ -135,8 +135,9 @@ TEST(Printer, PragmaStringForms)
 //
 // The hand-written snippets above pin individual constructs; these
 // sweeps pin the property over every program the repository actually
-// ships — all ten evaluation subjects (original and manual HLS ports)
-// and every repro snippet in the generated forum corpus.
+// ships — all ten evaluation subjects (original and manual HLS ports),
+// the four streaming subjects, and every repro snippet in the
+// generated forum corpus.
 
 TEST(PrinterFixpoint, EverySubjectSourceIsAPrintFixpoint)
 {
@@ -152,6 +153,16 @@ TEST(PrinterFixpoint, EverySubjectManualPortIsAPrintFixpoint)
         if (s.manual_source.empty())
             continue;
         SCOPED_TRACE(s.id + " manual port");
+        expectStablePrint(s.manual_source);
+    }
+}
+
+TEST(PrinterFixpoint, EveryStreamingSubjectIsAPrintFixpoint)
+{
+    for (const subjects::Subject &s : subjects::streamingSubjects()) {
+        SCOPED_TRACE(s.id + " (" + s.name + ")");
+        expectStablePrint(s.source);
+        ASSERT_FALSE(s.manual_source.empty());
         expectStablePrint(s.manual_source);
     }
 }

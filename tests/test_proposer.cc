@@ -91,8 +91,9 @@ TEST(RewriteCorpus, InstanceCoversEveryErrorCategory)
             << "no recipes mined for " << hls::categorySlug(category);
     }
     EXPECT_FALSE(corpus.performanceRecipes().empty());
-    // Ten manual ports plus the 1000-post Figure-3 forum corpus.
-    EXPECT_EQ(corpus.documents(), 1010);
+    // Ten manual ports, four streaming-subject ports, and the
+    // 1000-post Figure-3 forum corpus.
+    EXPECT_EQ(corpus.documents(), 1014);
 }
 
 TEST(RewriteCorpus, RecipesAreDependenceOrderedWithPositiveSupport)

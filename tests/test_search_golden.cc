@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/heterogen.h"
+#include "subjects/subjects.h"
 #include "support/strings.h"
 
 namespace heterogen::repair {
@@ -45,11 +46,13 @@ goldenOptions()
 }
 
 void
-expectGolden(const std::string &src, const std::string &golden_trace,
-             double golden_pass_ratio, double golden_sim_minutes)
+expectGoldenWith(const core::HeteroGenOptions &opts,
+                 const std::string &src,
+                 const std::string &golden_trace,
+                 double golden_pass_ratio, double golden_sim_minutes)
 {
     core::HeteroGen engine(src);
-    auto report = engine.run(goldenOptions());
+    auto report = engine.run(opts);
     std::vector<std::string> actions;
     for (const auto &step : report.search.trace)
         actions.push_back(step.action);
@@ -59,6 +62,14 @@ expectGolden(const std::string &src, const std::string &golden_trace,
     EXPECT_DOUBLE_EQ(report.search.pass_ratio, golden_pass_ratio);
     EXPECT_NEAR(report.search.sim_minutes, golden_sim_minutes, 1e-6)
         << "=== actual sim_minutes differs";
+}
+
+void
+expectGolden(const std::string &src, const std::string &golden_trace,
+             double golden_pass_ratio, double golden_sim_minutes)
+{
+    expectGoldenWith(goldenOptions(), src, golden_trace,
+                     golden_pass_ratio, golden_sim_minutes);
 }
 
 /** Subject 1: the long-double type-repair chain (Figure 7c). */
@@ -148,6 +159,56 @@ difftest:10/10
 )",
                  /*pass_ratio=*/1.0,
                  /*sim_minutes=*/17.311806);
+}
+
+/**
+ * Subject 3: the streaming stencil (S3) — a skew-joined DATAFLOW region
+ * whose fifo is too shallow, so the hang detector fires until the
+ * stream-depth template widens it. Pins the stream-repair path end to
+ * end: streamify retires as a noop, stream_depth lands the fix, and the
+ * performance phase runs on the repaired streaming program.
+ */
+TEST(SearchGolden, StreamingStencilReplaysExactly)
+{
+    const subjects::Subject &s = subjects::subjectById("S3");
+    core::HeteroGenOptions opts = goldenOptions();
+    opts.kernel = s.kernel;
+    opts.narrow_bitwidths = false;
+    opts.fuzz.host_function = s.host;
+    opts.fuzz.rng_seed = s.fuzz_seed;
+    opts.fuzz.max_executions = 60;
+    opts.fuzz.mutations_per_input = 6;
+    opts.fuzz.min_suite_size = 8;
+    opts.fuzz.max_steps_per_run = 400000;
+    opts.fuzz.plateau_minutes = 30.0;
+    opts.fuzz.budget_minutes = 120.0;
+    opts.search.difftest_sample = 8;
+    expectGoldenWith(opts, s.source,
+                     R"(
+compile:errors
+noop:streamify($a1:arr)
+compile:memo-errors
+noop:streamify($a1:arr)
+compile:memo-errors
+noop:streamify($a1:arr)
+compile:memo-errors
+edit:stream_depth($c1:chan)
+compile:ok
+difftest:8/8
+noop:explore_partition($p1:pragma,$a1:arr)
+noop:segment($a1:arr)
+edit:pipeline($l1:loop)
+edit:unroll($l1:loop)
+edit:partition($a1:arr)
+noop:dataflow($f1:func)
+compile:ok
+difftest:8/8
+noop:explore_partition($p1:pragma,$a1:arr)
+noop:segment($a1:arr)
+noop:dataflow($f1:func)
+)",
+                     /*pass_ratio=*/1.0,
+                     /*sim_minutes=*/14.6409616);
 }
 
 /**
